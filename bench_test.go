@@ -1,0 +1,132 @@
+package repro
+
+// One testing.B benchmark per paper table/figure: each bench runs the
+// corresponding experiment end to end (trace generation is cached
+// after the first iteration, so steady-state iterations measure the
+// predictor sweeps). benchBudget keeps -bench=. runs tractable; the
+// CLI (cmd/dfcmsim) runs the same experiments at full budgets.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/progs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const benchBudget = 120_000
+
+var benchCfg = experiments.Config{Budget: benchBudget}
+
+// smallCfg restricts the costliest sweeps to a benchmark subset.
+var smallCfg = experiments.Config{
+	Budget:     benchBudget,
+	Benchmarks: []string{"li", "ijpeg", "m88ksim", "go"},
+}
+
+func runExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)         { runExperiment(b, "table1", benchCfg) }
+func BenchmarkFig3(b *testing.B)           { runExperiment(b, "fig3", smallCfg) }
+func BenchmarkFig4(b *testing.B)           { runExperiment(b, "fig4", benchCfg) }
+func BenchmarkFig6(b *testing.B)           { runExperiment(b, "fig6", benchCfg) }
+func BenchmarkFig8(b *testing.B)           { runExperiment(b, "fig8", benchCfg) }
+func BenchmarkFig9(b *testing.B)           { runExperiment(b, "fig9", benchCfg) }
+func BenchmarkFig10a(b *testing.B)         { runExperiment(b, "fig10a", benchCfg) }
+func BenchmarkFig10b(b *testing.B)         { runExperiment(b, "fig10b", benchCfg) }
+func BenchmarkFig11a(b *testing.B)         { runExperiment(b, "fig11a", smallCfg) }
+func BenchmarkFig11b(b *testing.B)         { runExperiment(b, "fig11b", smallCfg) }
+func BenchmarkFig12(b *testing.B)          { runExperiment(b, "fig12", smallCfg) }
+func BenchmarkFig13(b *testing.B)          { runExperiment(b, "fig13", smallCfg) }
+func BenchmarkFig14(b *testing.B)          { runExperiment(b, "fig14", smallCfg) }
+func BenchmarkFig16(b *testing.B)          { runExperiment(b, "fig16", smallCfg) }
+func BenchmarkFig17(b *testing.B)          { runExperiment(b, "fig17", smallCfg) }
+func BenchmarkSec44(b *testing.B)          { runExperiment(b, "sec44", smallCfg) }
+func BenchmarkExtConfidence(b *testing.B)  { runExperiment(b, "ext-confidence", smallCfg) }
+func BenchmarkExtRelatedWork(b *testing.B) { runExperiment(b, "ext-relatedwork", smallCfg) }
+func BenchmarkExtPredictability(b *testing.B) {
+	runExperiment(b, "ext-predictability", smallCfg)
+}
+func BenchmarkExtILP(b *testing.B)        { runExperiment(b, "ext-ilp", smallCfg) }
+func BenchmarkAblationHash(b *testing.B)  { runExperiment(b, "ablation-hash", smallCfg) }
+func BenchmarkAblationOrder(b *testing.B) { runExperiment(b, "ablation-order", smallCfg) }
+func BenchmarkAblationMeta(b *testing.B)  { runExperiment(b, "ablation-meta", smallCfg) }
+func BenchmarkAblationIndex(b *testing.B) { runExperiment(b, "ablation-index", smallCfg) }
+
+// --- microbenchmarks: predictor update throughput ---
+
+func benchPredictor(b *testing.B, p core.Predictor) {
+	b.Helper()
+	body := workload.LoopBody(0x1000, 2, 6, 4, 2)
+	events := trace.Collect(workload.Interleave(body, 4096), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := events[i%len(events)]
+		if p.Predict(e.PC) == e.Value {
+			_ = e
+		}
+		p.Update(e.PC, e.Value)
+	}
+}
+
+func BenchmarkPredictLastValue(b *testing.B) { benchPredictor(b, core.NewLastValue(14)) }
+func BenchmarkPredictStride(b *testing.B)    { benchPredictor(b, core.NewStride(14)) }
+func BenchmarkPredictTwoDelta(b *testing.B)  { benchPredictor(b, core.NewTwoDelta(14)) }
+func BenchmarkPredictFCM(b *testing.B)       { benchPredictor(b, core.NewFCM(14, 12)) }
+func BenchmarkPredictDFCM(b *testing.B)      { benchPredictor(b, core.NewDFCM(14, 12)) }
+func BenchmarkPredictDFCMDelayed(b *testing.B) {
+	benchPredictor(b, core.NewDelayed(core.NewDFCM(14, 12), 64))
+}
+func BenchmarkPredictPerfectHybrid(b *testing.B) {
+	p := core.NewPerfectHybrid(core.NewStride(14), core.NewFCM(14, 12))
+	body := workload.LoopBody(0x1000, 2, 6, 4, 2)
+	events := trace.Collect(workload.Interleave(body, 4096), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := events[i%len(events)]
+		p.Score(e.PC, e.Value)
+	}
+}
+
+// --- microbenchmark: simulator throughput ---
+
+func BenchmarkSimulator(b *testing.B) {
+	p, err := progs.Program("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var executed uint64
+	for i := 0; i < b.N; i++ {
+		tr, err := progs.TraceFor("li", 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		executed += uint64(len(tr))
+	}
+	_ = p
+	b.ReportMetric(float64(executed)/float64(b.N), "events/run")
+}
+
+func BenchmarkExtLoads(b *testing.B) { runExperiment(b, "ext-loads", smallCfg) }

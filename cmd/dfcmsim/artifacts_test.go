@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-budget", "1000", "-out", dir, "fig4"}, false); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "fig4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "fig4") {
+		t.Error("artifact text missing experiment id")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig4.0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), ",") {
+		t.Error("csv artifact looks wrong")
+	}
+}
+
+func TestVerifySmallBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	// A reduced-budget, reduced-suite verify must still pass every
+	// qualitative check (the claims are scale-independent).
+	if err := verify([]string{"-budget", "150000", "-bench", "li,ijpeg,m88ksim,go"}); err != nil {
+		t.Fatal(err)
+	}
+}

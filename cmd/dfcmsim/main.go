@@ -1,0 +1,181 @@
+// Command dfcmsim reproduces the tables and figures of the DFCM paper
+// (Goeman, Vandierendonck, De Bosschere, HPCA 2001) over this
+// repository's benchmark suite.
+//
+// Usage:
+//
+//	dfcmsim list
+//	dfcmsim run [-budget N] [-bench a,b,...] [-csv] <id> [<id>...]
+//	dfcmsim all [-budget N] [-bench a,b,...]
+//
+// Experiment ids match DESIGN.md's per-experiment index (fig3,
+// fig10a, table1, ...). The budget is the per-benchmark instruction
+// count; the paper's equivalent is 200M, the default here is 1M.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		if err := run(os.Args[2:], false); err != nil {
+			fatal(err)
+		}
+	case "all":
+		if err := run(append(os.Args[2:], allIDs()...), false); err != nil {
+			fatal(err)
+		}
+	case "verify":
+		if err := verify(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// verify runs every experiment and fails if any qualitative check
+// (the notes the experiments compute against the paper's claims)
+// reports a deviation. This is the repository's one-command
+// reproduction check.
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	budget := fs.Uint64("budget", 0, "instructions per benchmark (0 = default 1M)")
+	bench := fs.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Budget: *budget}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	var failures []string
+	for _, e := range experiments.All() {
+		fmt.Fprintf(os.Stderr, "verifying %s (%s)...\n", e.ID, e.Artifact)
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, n := range res.Notes {
+			if strings.Contains(n, "WARNING") {
+				failures = append(failures, e.ID+": "+n)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "DEVIATION", f)
+		}
+		return fmt.Errorf("%d qualitative check(s) deviated from the paper", len(failures))
+	}
+	fmt.Printf("all %d experiments reproduce the paper's qualitative claims\n",
+		len(experiments.All()))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dfcmsim list
+  dfcmsim run [-budget N] [-bench a,b] [-csv] [-out dir] <id> [<id>...]
+  dfcmsim all [-budget N] [-bench a,b]
+  dfcmsim verify [-budget N]`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfcmsim:", err)
+	os.Exit(1)
+}
+
+func list() {
+	fmt.Printf("%-15s %-22s %s\n", "ID", "ARTIFACT", "TITLE")
+	for _, e := range experiments.All() {
+		fmt.Printf("%-15s %-22s %s\n", e.ID, e.Artifact, e.Title)
+	}
+}
+
+func allIDs() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+func run(args []string, _ bool) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	budget := fs.Uint64("budget", 0, "instructions per benchmark (0 = default 1M)")
+	bench := fs.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+	csv := fs.Bool("csv", false, "emit tables as CSV")
+	outDir := fs.String("out", "", "also write <id>.txt and <id>.<n>.csv files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiment ids given (try 'dfcmsim list')")
+	}
+	cfg := experiments.Config{Budget: *budget}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	for _, id := range ids {
+		e, err := experiments.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Artifact)
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, res); err != nil {
+				return err
+			}
+		}
+		if *csv {
+			for _, t := range res.Tables {
+				fmt.Println("#", res.ID, t.Title)
+				fmt.Print(t.CSV())
+			}
+			continue
+		}
+		fmt.Println(res.String())
+	}
+	return nil
+}
+
+// writeArtifacts stores the rendered result and per-table CSVs under
+// dir for scripted artifact regeneration.
+func writeArtifacts(dir string, res *experiments.Result) error {
+	if err := os.WriteFile(filepath.Join(dir, res.ID+".txt"), []byte(res.String()), 0o644); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		name := fmt.Sprintf("%s.%d.csv", res.ID, i)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

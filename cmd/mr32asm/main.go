@@ -1,0 +1,77 @@
+// Command mr32asm assembles an MR32 source file into an MRX1 object
+// file that cmd/mr32run can execute directly.
+//
+// Usage:
+//
+//	mr32asm -o prog.mrx prog.s
+//	mr32asm -list prog.s          # assemble and print a listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "output object file")
+	list := flag.Bool("list", false, "print an assembly listing to stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mr32asm [-o out.mrx] [-list] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		printListing(p)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := asm.WriteProgram(f, p); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d text words, %d data bytes, %d symbols\n",
+			*out, len(p.Text), len(p.Data), len(p.Symbols))
+	}
+	if !*list && *out == "" {
+		fmt.Fprintln(os.Stderr, "mr32asm: assembled OK (use -o or -list for output)")
+	}
+}
+
+// printListing renders the text segment with symbol annotations.
+func printListing(p *asm.Program) {
+	byAddr := make(map[uint32][]string)
+	for name, addr := range p.Symbols {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	for _, names := range byAddr {
+		sort.Strings(names)
+	}
+	for i, w := range p.Text {
+		pc := uint32(isa.TextBase + 4*i)
+		for _, name := range byAddr[pc] {
+			fmt.Printf("%s:\n", name)
+		}
+		fmt.Printf("  %08x:  %08x  %s\n", pc, w, isa.Disassemble(pc, w))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mr32asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command tracegen runs a benchmark on the MR32 simulator and writes
+// its value trace to a VTR1 file (see internal/trace).
+//
+// Usage:
+//
+//	tracegen -bench li -budget 1000000 -o li.vtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	budget := flag.Uint64("budget", 1_000_000, "instruction budget (0 = run to completion)")
+	out := flag.String("o", "", "output trace file")
+	compress := flag.Bool("z", false, "write the compressed VTRZ container")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, n := range progs.Names() {
+			b, _ := progs.Get(n)
+			fmt.Printf("%-10s %-24s %s\n", n, b.Model, b.Description)
+		}
+		return
+	}
+	if *bench == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -bench and -o are required")
+		os.Exit(2)
+	}
+	tr, err := progs.TraceFor(*bench, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	write := trace.Write
+	if *compress {
+		write = trace.WriteCompressed
+	}
+	if err := write(f, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d events to %s\n", len(tr), *out)
+}

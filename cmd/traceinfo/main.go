@@ -1,0 +1,58 @@
+// Command traceinfo summarizes a value trace: event counts, static
+// instruction footprint, last-value/stride predictability and the
+// hottest instructions.
+//
+// Usage:
+//
+//	traceinfo li.vtr
+//	traceinfo -bench li -budget 1000000 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to trace instead of reading a file")
+	budget := flag.Uint64("budget", 1_000_000, "instruction budget when tracing a benchmark")
+	top := flag.Int("top", 10, "number of hottest PCs to list")
+	flag.Parse()
+
+	var tr trace.Trace
+	var err error
+	switch {
+	case *bench != "":
+		tr, err = progs.TraceFor(*bench, *budget)
+	case flag.NArg() == 1:
+		var f *os.File
+		f, err = os.Open(flag.Arg(0))
+		if err == nil {
+			defer f.Close()
+			tr, err = trace.ReadAuto(f)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-top N] <file.vtr> | traceinfo -bench <name>")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+
+	st := trace.Summarize(tr, *top)
+	fmt.Printf("events:        %d\n", st.Events)
+	fmt.Printf("distinct PCs:  %d\n", st.DistinctPCs)
+	fmt.Printf("constant frac: %.4f (last-value predictable)\n", st.ConstantFrac)
+	fmt.Printf("stride frac:   %.4f (stride predictable)\n", st.StrideFrac)
+	if len(st.TopPCs) > 0 {
+		fmt.Printf("\n%-12s %10s %10s\n", "pc", "events", "values")
+		for _, p := range st.TopPCs {
+			fmt.Printf("%#-12x %10d %10d\n", p.PC, p.Count, p.Values)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command vpredict runs one value predictor configuration over a
+// trace (from a VTR1 file or generated from a benchmark) and reports
+// its accuracy and size.
+//
+// Usage:
+//
+//	vpredict -bench li -predictor dfcm -l1 16 -l2 12
+//	vpredict -trace li.vtr -predictor stride -l1 14
+//	vpredict -bench ijpeg -predictor dfcm -l1 16 -l2 12 -width 8 -delay 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "VTR1 trace file to replay")
+	bench := flag.String("bench", "", "benchmark to trace on the fly")
+	budget := flag.Uint64("budget", 1_000_000, "instruction budget when tracing a benchmark")
+	kind := flag.String("predictor", "dfcm", "lvp | stride | 2delta | fcm | dfcm | hybrid")
+	l1 := flag.Uint("l1", 16, "log2 of the level-1 (or only) table entries")
+	l2 := flag.Uint("l2", 12, "log2 of the level-2 table entries (fcm/dfcm/hybrid)")
+	width := flag.Uint("width", 32, "stored stride width in bits (dfcm)")
+	delay := flag.Int("delay", 0, "update delay in predictions")
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *bench, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpredict:", err)
+		os.Exit(1)
+	}
+
+	var p core.Predictor
+	switch *kind {
+	case "lvp":
+		p = core.NewLastValue(*l1)
+	case "stride":
+		p = core.NewStride(*l1)
+	case "2delta":
+		p = core.NewTwoDelta(*l1)
+	case "fcm":
+		p = core.NewFCM(*l1, *l2)
+	case "dfcm":
+		p = core.NewDFCMWidth(*l1, *l2, *width)
+	case "hybrid":
+		p = core.NewPerfectHybrid(core.NewStride(*l1), core.NewFCM(*l1, *l2))
+	default:
+		fmt.Fprintf(os.Stderr, "vpredict: unknown predictor %q\n", *kind)
+		os.Exit(2)
+	}
+	if *delay > 0 {
+		p = core.NewDelayed(p, *delay)
+	}
+
+	res := core.Run(p, trace.NewReader(tr))
+	fmt.Printf("predictor:   %s\n", p.Name())
+	fmt.Printf("size:        %d bits (%.1f Kbit)\n", p.SizeBits(), float64(p.SizeBits())/1024)
+	fmt.Printf("predictions: %d\n", res.Predictions)
+	fmt.Printf("correct:     %d\n", res.Correct)
+	fmt.Printf("accuracy:    %.4f\n", res.Accuracy())
+}
+
+func loadTrace(file, bench string, budget uint64) (trace.Trace, error) {
+	switch {
+	case file != "" && bench != "":
+		return nil, fmt.Errorf("give either -trace or -bench, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAuto(f)
+	case bench != "":
+		return progs.TraceFor(bench, budget)
+	default:
+		return nil, fmt.Errorf("one of -trace or -bench is required")
+	}
+}

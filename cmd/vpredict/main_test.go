@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestLoadTraceFromBenchmark(t *testing.T) {
+	tr, err := loadTrace("", "li", 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Error("empty trace from benchmark")
+	}
+}
+
+func TestLoadTraceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.vtr")
+	want := trace.Trace{{PC: 0x40, Value: 1}, {PC: 0x44, Value: 2}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, want); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := loadTrace(path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLoadTraceArgErrors(t *testing.T) {
+	if _, err := loadTrace("", "", 0); err == nil {
+		t.Error("no source should error")
+	}
+	if _, err := loadTrace("x.vtr", "li", 0); err == nil {
+		t.Error("both sources should error")
+	}
+	if _, err := loadTrace("/nonexistent.vtr", "", 0); err == nil {
+		t.Error("missing file should error")
+	}
+	if _, err := loadTrace("", "bogus", 0); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

@@ -1,0 +1,51 @@
+// Confidence estimation: a predictor is only as useful as the
+// mechanism deciding when to trust it. This example contrasts the two
+// estimators the repository implements for the DFCM — classical
+// saturating counters and the paper's proposed level-2 hash tags
+// (section 4.2) — on a real benchmark trace.
+//
+//	go run ./examples/confidence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+func main() {
+	tr, err := progs.TraceFor("li", 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schemes := []struct {
+		name string
+		mk   func() core.ConfidentPredictor
+	}{
+		{"counter t=4", func() core.ConfidentPredictor {
+			return core.NewCounterConfidence(core.NewDFCM(16, 12), 16, 15, 4)
+		}},
+		{"counter t=15", func() core.ConfidentPredictor {
+			return core.NewCounterConfidence(core.NewDFCM(16, 12), 16, 15, 15)
+		}},
+		{"hash tag 8b", func() core.ConfidentPredictor {
+			return core.NewHashTag(core.NewDFCM(16, 12), 8, 3)
+		}},
+	}
+
+	fmt.Println("DFCM 2^16/2^12 on benchmark li:")
+	fmt.Printf("%-14s %10s %16s %10s\n", "estimator", "coverage", "confident acc", "raw acc")
+	for _, s := range schemes {
+		r := core.RunConfident(s.mk(), trace.NewReader(tr))
+		fmt.Printf("%-14s %10.4f %16.4f %10.4f\n",
+			s.name, r.Coverage(), r.Confident.Accuracy(), r.All.Accuracy())
+	}
+
+	fmt.Println("\nCounters buy precision by sacrificing coverage; the hash tag")
+	fmt.Println("keeps coverage high by detecting exactly the hash-aliasing misses")
+	fmt.Println("that dominate DFCM mispredictions (paper, Figure 14).")
+}

@@ -1,0 +1,48 @@
+// ILP limit study: the paper's opening argument — "the upper bound on
+// achievable IPC is generally imposed by true register dependencies;
+// value prediction is a technique capable of pushing this upper
+// bound" — measured on the benchmark suite with a Lipasti-style
+// idealized machine.
+//
+//	go run ./examples/ilplimit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/progs"
+)
+
+func main() {
+	const (
+		budget = 500_000
+		width  = 64 // fetch bandwidth, the model's only resource limit
+	)
+	fmt.Printf("dataflow-limit ILP, %d-wide fetch, %d instructions per benchmark\n\n", width, budget)
+	fmt.Printf("%-10s %12s %12s %12s\n", "benchmark", "no pred.", "DFCM", "oracle")
+	for _, name := range progs.SPECNames() {
+		p, err := progs.Program(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := ilp.MeasureWidth(p, budget, nil, width)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dfcm, err := ilp.MeasureWidth(p, budget, core.NewDFCM(16, 12), width)
+		if err != nil {
+			log.Fatal(err)
+		}
+		orc, err := ilp.MeasureWidth(p, budget, ilp.Oracle, width)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.2f %12.2f %12.2f\n", name, base.ILP(), dfcm.ILP(), orc.ILP())
+	}
+	fmt.Println("\nBenchmarks whose critical chain is predictable (loop counters,")
+	fmt.Println("interpreter state) leap toward the fetch limit under the DFCM;")
+	fmt.Println("chains of inherently unpredictable values stay dependence-bound.")
+}

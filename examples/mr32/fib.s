@@ -1,0 +1,49 @@
+# fib.s — recursive Fibonacci on the MR32 simulator.
+#
+#   go run ./cmd/mr32run -stats examples/mr32/fib.s
+#
+# Prints fib(20) and exits. Exercises the calling convention, the
+# stack, and recursion; its value trace is a nice mix of stack-address
+# strides and context patterns.
+	.data
+msg:	.asciiz "fib(20) = "
+nl:	.asciiz "\n"
+
+	.text
+main:
+	la   $a0, msg
+	li   $v0, 4
+	syscall
+	li   $a0, 20
+	jal  fib
+	move $a0, $v0
+	li   $v0, 1
+	syscall
+	la   $a0, nl
+	li   $v0, 4
+	syscall
+	li   $v0, 10
+	syscall
+
+# fib(n): returns fib(n) in $v0; clobbers $t0, $t1.
+fib:
+	li   $t0, 2
+	slt  $t0, $a0, $t0        # n < 2 ?
+	beqz $t0, fib_rec
+	move $v0, $a0
+	jr   $ra
+fib_rec:
+	addiu $sp, $sp, -12
+	sw   $ra, 0($sp)
+	sw   $a0, 4($sp)
+	addiu $a0, $a0, -1
+	jal  fib
+	sw   $v0, 8($sp)
+	lw   $a0, 4($sp)
+	addiu $a0, $a0, -2
+	jal  fib
+	lw   $t1, 8($sp)
+	addu $v0, $v0, $t1
+	lw   $ra, 0($sp)
+	addiu $sp, $sp, 12
+	jr   $ra

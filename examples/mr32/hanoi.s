@@ -1,0 +1,49 @@
+# hanoi.s — towers of Hanoi move counter on the MR32 simulator.
+#
+#   go run ./cmd/mr32run -stats examples/mr32/hanoi.s
+#
+# Solves 16 disks recursively, counting moves in a global, and prints
+# the count (2^16 - 1 = 65535).
+	.data
+moves:	.word 0
+msg:	.asciiz "moves: "
+nl:	.asciiz "\n"
+
+	.text
+main:
+	li   $a0, 16              # disks
+	jal  hanoi
+	lw   $a0, moves
+	la   $t0, msg
+	move $t1, $a0
+	move $a0, $t0
+	li   $v0, 4
+	syscall
+	move $a0, $t1
+	li   $v0, 1
+	syscall
+	la   $a0, nl
+	li   $v0, 4
+	syscall
+	li   $v0, 10
+	syscall
+
+# hanoi(n): moves++ per disk move; recursion only.
+hanoi:
+	blez $a0, hdone
+	addiu $sp, $sp, -8
+	sw   $ra, 0($sp)
+	sw   $a0, 4($sp)
+	addiu $a0, $a0, -1
+	jal  hanoi                # move n-1 to spare
+	lw   $t0, moves           # move disk n
+	addiu $t0, $t0, 1
+	sw   $t0, moves
+	lw   $a0, 4($sp)
+	addiu $a0, $a0, -1
+	jal  hanoi                # move n-1 onto it
+	lw   $ra, 0($sp)
+	addiu $sp, $sp, 8
+	jr   $ra
+hdone:
+	jr   $ra

@@ -1,0 +1,210 @@
+// Package asm implements a two-pass assembler for the MR32 ISA
+// (internal/isa), sufficient to build the repository's SPECint95-like
+// benchmark programs (internal/progs).
+//
+// Supported syntax (a pragmatic MIPS-assembler subset):
+//
+//	# comment to end of line
+//	label:              # bound to the current segment position
+//	.text / .data       # segment selection
+//	.word  e, e, ...    # 32-bit values; e is an integer or a label
+//	.half  e, e, ...    # 16-bit values
+//	.byte  e, e, ...    # 8-bit values
+//	.space n            # n zero bytes
+//	.align n            # align to 2^n bytes
+//	.asciiz "str"       # NUL-terminated string (escapes: \n \t \0 \\ \")
+//	.ascii  "str"
+//	.globl name         # accepted and ignored
+//	op operands         # instructions; operands are $reg, imm,
+//	                    # label, or offset($reg)
+//
+// Native instructions cover the MR32 set; the usual pseudo-instructions
+// (li, la, move, nop, b, beqz, bnez, blt/bgt/ble/bge and unsigned
+// variants, neg, not, mul, rem, three-operand div, lw/sw with a label
+// address) are expanded using $at as the assembler temporary.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Program is the output of the assembler: a text segment of encoded
+// instructions based at isa.TextBase, a data segment based at
+// isa.DataBase, and the resolved symbol table.
+type Program struct {
+	Text    []uint32
+	Data    []byte
+	Entry   uint32 // address of the "main" label, or isa.TextBase
+	Symbols map[string]uint32
+}
+
+// Error is an assembly diagnostic carrying the source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// relocation kinds.
+type relocKind int
+
+const (
+	relHi16    relocKind = iota // upper 16 bits, paired with a zero-extending lo (ori)
+	relHi16Adj                  // upper 16 bits carry-adjusted for a sign-extending lo (loads/stores)
+	relLo16                     // lower 16 bits of a symbol address
+	relBranch                   // signed word offset from pc+4
+	relJump                     // 26-bit word address
+	relWord                     // full 32-bit address in .word data
+)
+
+type reloc struct {
+	kind   relocKind
+	symbol string
+	// text index for instruction relocs, data offset for relWord.
+	index int
+	line  int
+	// addend is added to the symbol address before encoding.
+	addend int32
+}
+
+type assembler struct {
+	text    []uint32
+	data    []byte
+	symbols map[string]uint32
+	relocs  []reloc
+	inData  bool
+	line    int
+}
+
+// Assemble translates MR32 assembly source into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: make(map[string]uint32)}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	p := &Program{Text: a.text, Data: a.data, Symbols: a.symbols, Entry: isa.TextBase}
+	if main, ok := a.symbols["main"]; ok {
+		p.Entry = main
+	}
+	return p, nil
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// here returns the address of the next emitted byte/word in the
+// current segment.
+func (a *assembler) here() uint32 {
+	if a.inData {
+		return isa.DataBase + uint32(len(a.data))
+	}
+	return isa.TextBase + uint32(4*len(a.text))
+}
+
+func (a *assembler) doLine(raw string) error {
+	line := stripComment(raw)
+	// Peel off any leading labels.
+	for {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			return nil
+		}
+		colon := strings.Index(trimmed, ":")
+		if colon < 0 || !isIdent(trimmed[:colon]) {
+			line = trimmed
+			break
+		}
+		name := trimmed[:colon]
+		if _, dup := a.symbols[name]; dup {
+			return a.errf("duplicate label %q", name)
+		}
+		a.symbols[name] = a.here()
+		line = trimmed[colon+1:]
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.doDirective(line)
+	}
+	return a.doInstruction(line)
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits on commas that are outside quotes and parens.
+func splitOperands(s string) []string {
+	var out []string
+	depth, inStr, start := 0, false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}

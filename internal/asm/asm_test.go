@@ -1,0 +1,396 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	// Every encoder/decoder pair must agree on field placement.
+	w := isa.EncodeR(isa.FnADDU, 3, 4, 5, 0)
+	in := isa.Decode(w)
+	if in.Op != isa.OpSpecial || in.Rd != 3 || in.Rs != 4 || in.Rt != 5 || in.Funct != isa.FnADDU {
+		t.Errorf("R decode mismatch: %+v", in)
+	}
+	w = isa.EncodeI(isa.OpADDIU, 7, 8, 0xfffe)
+	in = isa.Decode(w)
+	if in.Op != isa.OpADDIU || in.Rt != 7 || in.Rs != 8 || in.Imm != 0xfffe {
+		t.Errorf("I decode mismatch: %+v", in)
+	}
+	if in.SImm() != 0xfffffffe {
+		t.Errorf("SImm = %#x, want sign-extended", in.SImm())
+	}
+	w = isa.EncodeJ(isa.OpJAL, 0x123456)
+	in = isa.Decode(w)
+	if in.Op != isa.OpJAL || in.Target != 0x123456 {
+		t.Errorf("J decode mismatch: %+v", in)
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	cases := map[string]int{"zero": 0, "at": 1, "v0": 2, "a0": 4, "t0": 8,
+		"s0": 16, "t8": 24, "gp": 28, "sp": 29, "fp": 30, "ra": 31, "5": 5}
+	for name, want := range cases {
+		got, ok := isa.RegByName(name)
+		if !ok || got != want {
+			t.Errorf("RegByName(%q) = %d,%v want %d", name, got, ok, want)
+		}
+	}
+	if _, ok := isa.RegByName("bogus"); ok {
+		t.Error("bogus register resolved")
+	}
+	if _, ok := isa.RegByName("32"); ok {
+		t.Error("register 32 resolved")
+	}
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAsm(t, `
+		# a tiny program
+		main:
+			addiu $t0, $zero, 5
+			addu  $t1, $t0, $t0
+			li    $v0, 10
+			syscall
+	`)
+	if len(p.Text) != 4 {
+		t.Fatalf("text has %d words, want 4", len(p.Text))
+	}
+	if p.Entry != isa.TextBase {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	in := isa.Decode(p.Text[0])
+	if in.Op != isa.OpADDIU || in.Rt != isa.RegT0 || in.Imm != 5 {
+		t.Errorf("first word decodes to %+v", in)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAsm(t, `
+		main:
+		top:	addiu $t0, $t0, 1
+			bne $t0, $t1, top
+			beq $t0, $t1, down
+			nop
+		down:	jr $ra
+	`)
+	// bne at index 1 targets index 0: offset = (0 - 2) = -2 words.
+	in := isa.Decode(p.Text[1])
+	if in.Op != isa.OpBNE || int16(in.Imm) != -2 {
+		t.Errorf("bne encodes imm %d, want -2", int16(in.Imm))
+	}
+	// beq at index 2 targets index 4: offset = 4 - 3 = 1.
+	in = isa.Decode(p.Text[2])
+	if in.Op != isa.OpBEQ || int16(in.Imm) != 1 {
+		t.Errorf("beq encodes imm %d, want 1", int16(in.Imm))
+	}
+}
+
+func TestJumpEncoding(t *testing.T) {
+	p := mustAsm(t, `
+		main:	jal func
+			j main
+		func:	jr $ra
+	`)
+	in := isa.Decode(p.Text[0])
+	want := uint32(isa.TextBase+8) >> 2
+	if in.Op != isa.OpJAL || in.Target != want&0x3ffffff {
+		t.Errorf("jal target = %#x, want %#x", in.Target, want)
+	}
+}
+
+func TestDataDirectivesAndSymbols(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+		nums:	.word 1, 2, 0x30, -4
+		bytes:	.byte 1, 2, 3
+		.align 2
+		half:	.half 0x1234
+		.align 2
+		str:	.asciiz "hi\n"
+		buf:	.space 8
+		ptr:	.word str
+	`)
+	if got := p.Symbols["nums"]; got != isa.DataBase {
+		t.Errorf("nums at %#x", got)
+	}
+	// .word values, little-endian.
+	if p.Data[0] != 1 || p.Data[4] != 2 || p.Data[8] != 0x30 {
+		t.Errorf("word data wrong: % x", p.Data[:12])
+	}
+	if p.Data[12] != 0xfc || p.Data[15] != 0xff {
+		t.Errorf("-4 encodes as % x", p.Data[12:16])
+	}
+	if got := p.Symbols["bytes"]; got != isa.DataBase+16 {
+		t.Errorf("bytes at %#x", got)
+	}
+	// .align 2 pads 16+3=19 to 20.
+	if got := p.Symbols["half"]; got != isa.DataBase+20 {
+		t.Errorf("half at %#x", got)
+	}
+	strAddr := p.Symbols["str"]
+	off := strAddr - isa.DataBase
+	if string(p.Data[off:off+3]) != "hi\n" || p.Data[off+3] != 0 {
+		t.Errorf("asciiz content wrong: % x", p.Data[off:off+4])
+	}
+	// ptr holds str's absolute address.
+	ptrOff := p.Symbols["ptr"] - isa.DataBase
+	got := uint32(p.Data[ptrOff]) | uint32(p.Data[ptrOff+1])<<8 |
+		uint32(p.Data[ptrOff+2])<<16 | uint32(p.Data[ptrOff+3])<<24
+	if got != strAddr {
+		t.Errorf("ptr = %#x, want %#x", got, strAddr)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	p := mustAsm(t, `
+		main:
+			li $t0, 5          # 1 word (addiu)
+			li $t1, -5         # 1 word (addiu)
+			li $t2, 0xbeef     # 1 word (ori)
+			li $t3, 0x12345678 # 2 words (lui+ori)
+			li $t4, 0x10000    # 1 word (lui only)
+	`)
+	if len(p.Text) != 6 {
+		t.Fatalf("li expansion produced %d words, want 6", len(p.Text))
+	}
+	in := isa.Decode(p.Text[3])
+	if in.Op != isa.OpLUI || in.Imm != 0x1234 {
+		t.Errorf("lui half = %+v", in)
+	}
+	in = isa.Decode(p.Text[4])
+	if in.Op != isa.OpORI || in.Imm != 0x5678 {
+		t.Errorf("ori half = %+v", in)
+	}
+	in = isa.Decode(p.Text[5])
+	if in.Op != isa.OpLUI || in.Imm != 1 {
+		t.Errorf("lui-only = %+v", in)
+	}
+}
+
+func TestLaResolvesDataAddress(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+		x: .word 42
+		.text
+		main:	la $t0, x
+	`)
+	lui := isa.Decode(p.Text[0])
+	ori := isa.Decode(p.Text[1])
+	addr := lui.Imm<<16 | ori.Imm
+	if addr != isa.DataBase {
+		t.Errorf("la resolves to %#x, want %#x", addr, isa.DataBase)
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+		arr: .word 1, 2, 3
+		.text
+		main:
+			lw $t0, 8($sp)
+			lw $t1, -4($sp)
+			sw $t0, 0($gp)
+			lw $t2, arr
+			lw $t3, arr+8
+	`)
+	in := isa.Decode(p.Text[0])
+	if in.Op != isa.OpLW || in.Rs != isa.RegSP || in.Imm != 8 {
+		t.Errorf("lw 8($sp) = %+v", in)
+	}
+	in = isa.Decode(p.Text[1])
+	if int16(in.Imm) != -4 {
+		t.Errorf("lw -4($sp) imm = %d", int16(in.Imm))
+	}
+	// lw $t2, arr expands to lui+lw; check the effective address.
+	lui := isa.Decode(p.Text[3])
+	lw := isa.Decode(p.Text[4])
+	addr := lui.Imm<<16 + uint32(int32(int16(lw.Imm)))
+	if addr != isa.DataBase {
+		t.Errorf("lw label resolves to %#x", addr)
+	}
+	lui = isa.Decode(p.Text[5])
+	lw = isa.Decode(p.Text[6])
+	addr = lui.Imm<<16 + uint32(int32(int16(lw.Imm)))
+	if addr != isa.DataBase+8 {
+		t.Errorf("lw label+8 resolves to %#x", addr)
+	}
+}
+
+func TestHiLoCarryAdjust(t *testing.T) {
+	// A data symbol whose low half is >= 0x8000 exercises the
+	// sign-extension carry in the load expansion.
+	var sb strings.Builder
+	sb.WriteString(".data\n.space 0x9000\nx: .word 7\n.text\nmain: lw $t0, x\n")
+	p := mustAsm(t, sb.String())
+	lui := isa.Decode(p.Text[0])
+	lw := isa.Decode(p.Text[1])
+	addr := lui.Imm<<16 + uint32(int32(int16(lw.Imm)))
+	if want := uint32(isa.DataBase + 0x9000); addr != want {
+		t.Errorf("effective address %#x, want %#x", addr, want)
+	}
+}
+
+func TestPseudoBranches(t *testing.T) {
+	p := mustAsm(t, `
+		main:
+			blt $t0, $t1, out
+			bge $t0, $t1, out
+			bgt $t0, $t1, out
+			ble $t0, $t1, out
+			bltu $t0, $t1, out
+			beqz $t0, out
+			bnez $t0, out
+			b out
+		out:	nop
+	`)
+	// blt = slt $at,$t0,$t1 ; bne $at,$zero
+	in := isa.Decode(p.Text[0])
+	if in.Funct != isa.FnSLT || in.Rd != isa.RegAT || in.Rs != isa.RegT0 || in.Rt != isa.RegT1 {
+		t.Errorf("blt slt = %+v", in)
+	}
+	if isa.Decode(p.Text[1]).Op != isa.OpBNE {
+		t.Error("blt should branch with bne")
+	}
+	if isa.Decode(p.Text[3]).Op != isa.OpBEQ {
+		t.Error("bge should branch with beq")
+	}
+	// bgt swaps operands.
+	in = isa.Decode(p.Text[4])
+	if in.Rs != isa.RegT1 || in.Rt != isa.RegT0 {
+		t.Errorf("bgt slt operands = %+v", in)
+	}
+	if isa.Decode(p.Text[8]).Funct != isa.FnSLTU {
+		t.Error("bltu should use sltu")
+	}
+}
+
+func TestMulDivRemPseudo(t *testing.T) {
+	p := mustAsm(t, `
+		main:
+			mul $t0, $t1, $t2
+			div $t3, $t4, $t5
+			rem $t6, $t4, $t5
+			div2 $t1, $t2
+			mflo $t7
+	`)
+	if isa.Decode(p.Text[0]).Funct != isa.FnMULT || isa.Decode(p.Text[1]).Funct != isa.FnMFLO {
+		t.Error("mul expansion wrong")
+	}
+	if isa.Decode(p.Text[2]).Funct != isa.FnDIV || isa.Decode(p.Text[3]).Funct != isa.FnMFLO {
+		t.Error("div pseudo expansion wrong")
+	}
+	if isa.Decode(p.Text[5]).Funct != isa.FnMFHI {
+		t.Error("rem should read HI")
+	}
+	if isa.Decode(p.Text[6]).Funct != isa.FnDIV {
+		t.Error("div2 should be a bare divide")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAsm(t, `
+	# full-line comment
+
+	main: nop # trailing comment
+	.data
+	s: .asciiz "has # hash"
+	`)
+	if len(p.Text) != 1 {
+		t.Errorf("text = %d words", len(p.Text))
+	}
+	if !strings.Contains(string(p.Data), "has # hash") {
+		t.Error("hash inside string was treated as comment")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown op", "main: frob $t0", "unknown instruction"},
+		{"unknown reg", "main: addu $t0, $qq, $t1", "unknown register"},
+		{"undefined label", "main: j nowhere", "undefined symbol"},
+		{"duplicate label", "x: nop\nx: nop", "duplicate label"},
+		{"imm range", "main: addiu $t0, $zero, 70000", "out of signed 16-bit range"},
+		{"imm range unsigned", "main: ori $t0, $zero, -1", "out of unsigned 16-bit range"},
+		{"shift range", "main: sll $t0, $t0, 32", "shift amount out of range"},
+		{"instr in data", ".data\nmain: nop", "instruction in .data"},
+		{"bad directive", ".frobnicate 3", "unknown directive"},
+		{"word in text", ".text\n.word 3", "only allowed in .data"},
+		{"bad operand count", "main: addu $t0, $t1", "wants 3 operands"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestErrorCarriesLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus $t0\n")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("error line = %d, want 3", aerr.Line)
+	}
+}
+
+func TestMainEntryDetection(t *testing.T) {
+	p := mustAsm(t, "helper: nop\nmain: nop\n")
+	if p.Entry != isa.TextBase+4 {
+		t.Errorf("entry = %#x, want main's address %#x", p.Entry, isa.TextBase+4)
+	}
+}
+
+func TestParseIntForms(t *testing.T) {
+	cases := map[string]int64{
+		"0":          0,
+		"-12":        -12,
+		"0x1f":       31,
+		"'A'":        65,
+		"'\\n'":      10,
+		"0xffffffff": 0xffffffff,
+	}
+	for s, want := range cases {
+		got, err := parseInt(s)
+		if err != nil || got != want {
+			t.Errorf("parseInt(%q) = %d,%v want %d", s, got, err, want)
+		}
+	}
+	if _, err := parseInt("zork"); err == nil {
+		t.Error("parseInt accepted garbage")
+	}
+}
+
+func TestSplitOperands(t *testing.T) {
+	got := splitOperands(`$t0, 8($sp), "a,b", label+4`)
+	want := []string{"$t0", "8($sp)", `"a,b"`, "label+4"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("operand %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// These tests exercise the encoder paths and diagnostics that the
+// happy-path programs in asm_test.go do not reach.
+
+func TestAllNativeMnemonicsAssemble(t *testing.T) {
+	// One instance of every native instruction; decoding each word
+	// back must reproduce the mnemonic's opcode/funct.
+	src := `
+	main:
+		add   $t0, $t1, $t2
+		addu  $t0, $t1, $t2
+		sub   $t0, $t1, $t2
+		subu  $t0, $t1, $t2
+		and   $t0, $t1, $t2
+		or    $t0, $t1, $t2
+		xor   $t0, $t1, $t2
+		nor   $t0, $t1, $t2
+		slt   $t0, $t1, $t2
+		sltu  $t0, $t1, $t2
+		sll   $t0, $t1, 3
+		srl   $t0, $t1, 3
+		sra   $t0, $t1, 3
+		sllv  $t0, $t1, $t2
+		srlv  $t0, $t1, $t2
+		srav  $t0, $t1, $t2
+		mult  $t1, $t2
+		multu $t1, $t2
+		div2  $t1, $t2
+		divu  $t1, $t2
+		mfhi  $t0
+		mflo  $t0
+		mthi  $t0
+		mtlo  $t0
+		addi  $t0, $t1, -7
+		addiu $t0, $t1, -7
+		slti  $t0, $t1, 9
+		sltiu $t0, $t1, 9
+		andi  $t0, $t1, 9
+		ori   $t0, $t1, 9
+		xori  $t0, $t1, 9
+		lui   $t0, 9
+		lw    $t0, 0($sp)
+		lh    $t0, 0($sp)
+		lhu   $t0, 0($sp)
+		lb    $t0, 0($sp)
+		lbu   $t0, 0($sp)
+		sw    $t0, 0($sp)
+		sh    $t0, 0($sp)
+		sb    $t0, 0($sp)
+		beq   $t0, $t1, main
+		bne   $t0, $t1, main
+		blez  $t0, main
+		bgtz  $t0, main
+		bltz  $t0, main
+		bgez  $t0, main
+		j     main
+		jal   main
+		jr    $ra
+		jalr  $t0
+		syscall
+	`
+	p := mustAsm(t, src)
+	if len(p.Text) != 51 {
+		t.Fatalf("assembled %d words, want 51", len(p.Text))
+	}
+	// Spot-check the variable shifts and the regimm branches.
+	if isa.Decode(p.Text[13]).Funct != isa.FnSLLV {
+		t.Error("sllv funct wrong")
+	}
+	in := isa.Decode(p.Text[13])
+	// sllv $t0, $t1, $t2: rd=t0, rt=t1, rs=t2.
+	if in.Rd != isa.RegT0 || in.Rt != isa.RegT1 || in.Rs != isa.RegT2 {
+		t.Errorf("sllv fields: %+v", in)
+	}
+	if in := isa.Decode(p.Text[44]); in.Op != isa.OpRegImm || in.Rt != isa.RtBLTZ {
+		t.Errorf("bltz encodes %+v", in)
+	}
+	if in := isa.Decode(p.Text[45]); in.Op != isa.OpRegImm || in.Rt != isa.RtBGEZ {
+		t.Errorf("bgez encodes %+v", in)
+	}
+	if in := isa.Decode(p.Text[49]); in.Funct != isa.FnJALR || in.Rd != isa.RegRA {
+		t.Errorf("jalr encodes %+v", in)
+	}
+}
+
+func TestMoreDiagnostics(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"lui operands", "main: lui $t0, $t1", "lui wants"},
+		{"lui range", "main: lui $t0, 0x10000", "out of unsigned 16-bit range"},
+		{"shift operands", "main: sll $t0, 3, $t1", "wants $rd, $rt, shamt"},
+		{"mem operand shape", "main: lw $t0, $t1", "wants a memory operand"},
+		{"mem first reg", "main: lw 4($sp), $t0", "wants $rt, address"},
+		{"mem offset range", "main: lw $t0, 40000($sp)", "out of signed 16-bit range"},
+		{"branch shape", "main: beq $t0, 4, main", "wants $rs, $rt, label"},
+		{"branch1 shape", "main: blez 4, main", "wants $rs, label"},
+		{"j operand", "main: j $t0", "wants a label"},
+		{"li shape", "main: li $t0, $t1", "li wants"},
+		{"la shape", "main: la $t0, 5", "la wants"},
+		{"b shape", "main: b $t0", "b wants"},
+		{"beqz shape", "main: beqz 5, main", "beqz wants"},
+		{"bnez shape", "main: bnez 5, main", "bnez wants"},
+		{"blt shape", "main: blt $t0, 5, main", "wants $rs, $rt, label"},
+		{"move shape", "main: move $t0", "wants 2 operands"},
+		{"empty operand", "main: addu $t0, , $t1", "empty operand"},
+		{"bad mem base", "main: lw $t0, 4(8)", "memory operand base"},
+		{"bad base name", "main: lw $t0, 4($zz)", "unknown base register"},
+		{"unbalanced", "main: lw $t0, 4$sp)", "unbalanced parens"},
+		{"bad mem offset", "main: lw $t0, x+y($sp)", "bad memory offset"},
+		{"iType shape", "main: addiu $t0, 4, 4", "wants $rt, $rs, imm"},
+		{"mult operand", "main: mult $t0, 7", "operand 2 must be a register"},
+		{"syscall operands", "main: syscall $v0", "takes no operands"},
+		{"half with label", ".data\nx: .half x", "bad integer operand"},
+		{"space missing", ".data\n.space", ".space needs a size"},
+		{"align range", ".data\n.align 99", ".align needs an exponent"},
+		{"asciiz quote", ".data\n.asciiz hello", ".asciiz"},
+		{"bad escape", `.data` + "\n" + `.asciiz "a\q"`, ".asciiz"},
+		{"space in text", ".text\n.space 4", "only allowed in .data"},
+		{"align in text", ".text\n.align 2", "only allowed in .data"},
+		{"ascii in text", ".text\n.ascii \"x\"", "only allowed in .data"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBranchTargetDiagnostics(t *testing.T) {
+	// A branch to a data label is misaligned or out of range.
+	_, err := Assemble(".data\n.space 2\nx: .word 1\n.text\nmain: beq $t0, $t1, x\n")
+	if err == nil {
+		t.Fatal("branch into data should fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "misaligned") && !strings.Contains(msg, "out of range") {
+		t.Errorf("unexpected diagnostic: %q", msg)
+	}
+}
+
+func TestIsIdentForms(t *testing.T) {
+	good := []string{"a", "foo_bar", "x9", "L.sub", "_start"}
+	bad := []string{"", "9x", "a-b", "a b", "a$"}
+	for _, s := range good {
+		if !isIdent(s) {
+			t.Errorf("isIdent(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if isIdent(s) {
+			t.Errorf("isIdent(%q) = true", s)
+		}
+	}
+}
+
+func TestParseSymRefForms(t *testing.T) {
+	sym, add, ok := parseSymRef("label+4")
+	if !ok || sym != "label" || add != 4 {
+		t.Errorf("label+4 -> %q %d %v", sym, add, ok)
+	}
+	sym, add, ok = parseSymRef("label-8")
+	if !ok || sym != "label" || add != -8 {
+		t.Errorf("label-8 -> %q %d %v", sym, add, ok)
+	}
+	if _, _, ok := parseSymRef("label+x"); ok {
+		t.Error("non-numeric addend accepted")
+	}
+	if _, _, ok := parseSymRef("9label"); ok {
+		t.Error("bad identifier accepted")
+	}
+	if _, _, ok := parseSymRef("a+b+c"); ok {
+		t.Error("double addend accepted")
+	}
+}
+
+func TestUnquoteEscapes(t *testing.T) {
+	got, err := unquote(`"a\t\r\0\\\"z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'a', '\t', '\r', 0, '\\', '"', 'z'}
+	if string(got) != string(want) {
+		t.Errorf("unquote = %q, want %q", got, want)
+	}
+	for _, bad := range []string{`"unterminated`, `noquotes`, `"trail\"`, `""x`} {
+		if _, err := unquote(bad); err == nil && bad != `""x` {
+			t.Errorf("unquote(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestGlobalDirectivesIgnored(t *testing.T) {
+	p := mustAsm(t, ".globl main\n.ent main\nmain: nop\n.end main\n")
+	if len(p.Text) != 1 {
+		t.Errorf("text = %d words", len(p.Text))
+	}
+}
+
+func TestWordWithSymbolAddend(t *testing.T) {
+	p := mustAsm(t, ".data\narr: .word 1,2,3\nptr: .word arr+8\n")
+	off := p.Symbols["ptr"] - isa.DataBase
+	got := uint32(p.Data[off]) | uint32(p.Data[off+1])<<8 |
+		uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24
+	if got != isa.DataBase+8 {
+		t.Errorf("ptr = %#x, want %#x", got, isa.DataBase+8)
+	}
+}
+
+func TestNegativeMemOffsetWithLabelBase(t *testing.T) {
+	p := mustAsm(t, ".data\ntab: .space 64\n.text\nmain: lw $t0, tab+4($t1)\n")
+	// Expansion: lui $at / addu $at,$at,$t1 / lw $t0, lo($at)
+	if len(p.Text) != 3 {
+		t.Fatalf("expansion has %d words", len(p.Text))
+	}
+	lui := isa.Decode(p.Text[0])
+	lw := isa.Decode(p.Text[2])
+	addr := lui.Imm<<16 + uint32(int32(int16(lw.Imm)))
+	if addr != isa.DataBase+4 {
+		t.Errorf("address %#x, want %#x", addr, isa.DataBase+4)
+	}
+	if mid := isa.Decode(p.Text[1]); mid.Funct != isa.FnADDU || mid.Rt != isa.RegT1 {
+		t.Errorf("base add = %+v", mid)
+	}
+}
+
+func TestEmptyMemOffset(t *testing.T) {
+	p := mustAsm(t, "main: lw $t0, ($sp)\n")
+	in := isa.Decode(p.Text[0])
+	if in.Imm != 0 || in.Rs != isa.RegSP {
+		t.Errorf("($sp) = %+v", in)
+	}
+}

@@ -1,0 +1,180 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+)
+
+func (a *assembler) doDirective(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	name := strings.TrimSpace(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".globl", ".global", ".ent", ".end":
+		// accepted for source compatibility; no effect
+	case ".word":
+		return a.emitInts(rest, 4)
+	case ".half":
+		return a.emitInts(rest, 2)
+	case ".byte":
+		return a.emitInts(rest, 1)
+	case ".space":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil {
+			return a.errf(".space needs a size: %v", err)
+		}
+		if !a.inData {
+			return a.errf(".space only allowed in .data")
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		n, err := strconv.ParseUint(rest, 0, 8)
+		if err != nil || n > 12 {
+			return a.errf(".align needs an exponent 0..12")
+		}
+		if !a.inData {
+			return a.errf(".align only allowed in .data")
+		}
+		align := uint32(1) << n
+		for uint32(len(a.data))%align != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".asciiz", ".ascii":
+		s, err := unquote(rest)
+		if err != nil {
+			return a.errf("%s: %v", name, err)
+		}
+		if !a.inData {
+			return a.errf("%s only allowed in .data", name)
+		}
+		a.data = append(a.data, s...)
+		if name == ".asciiz" {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return a.errf("unknown directive %q", name)
+	}
+	return nil
+}
+
+// emitInts handles .word/.half/.byte operand lists. A .word operand
+// may be a label, emitting a relWord relocation.
+func (a *assembler) emitInts(rest string, size int) error {
+	if !a.inData {
+		return a.errf("data directives only allowed in .data")
+	}
+	for _, op := range splitOperands(rest) {
+		if v, err := parseInt(op); err == nil {
+			a.appendLE(uint32(v), size)
+			continue
+		}
+		sym, addend, ok := parseSymRef(op)
+		if !ok || size != 4 {
+			return a.errf("bad integer operand %q", op)
+		}
+		a.relocs = append(a.relocs, reloc{
+			kind: relWord, symbol: sym, index: len(a.data), line: a.line, addend: addend,
+		})
+		a.appendLE(0, 4)
+	}
+	return nil
+}
+
+func (a *assembler) appendLE(v uint32, size int) {
+	for i := 0; i < size; i++ {
+		a.data = append(a.data, byte(v>>(8*i)))
+	}
+}
+
+// parseInt parses decimal, hex (0x), octal (0o), binary (0b), negative
+// and character ('c') literals.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := unquote("\"" + s[1:len(s)-1] + "\"")
+		if err != nil || len(body) != 1 {
+			return 0, strconv.ErrSyntax
+		}
+		return int64(body[0]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow large unsigned constants like 0xffffffff.
+		u, uerr := strconv.ParseUint(s, 0, 32)
+		if uerr != nil {
+			return 0, err
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// parseSymRef parses "label", "label+4" or "label-8".
+func parseSymRef(s string) (sym string, addend int32, ok bool) {
+	s = strings.TrimSpace(s)
+	for _, sep := range []string{"+", "-"} {
+		if i := strings.Index(s, sep); i > 0 {
+			off, err := parseInt(s[i+1:])
+			if err != nil {
+				return "", 0, false
+			}
+			if sep == "-" {
+				off = -off
+			}
+			if !isIdent(s[:i]) {
+				return "", 0, false
+			}
+			return s[:i], int32(off), true
+		}
+	}
+	if !isIdent(s) {
+		return "", 0, false
+	}
+	return s, 0, true
+}
+
+// unquote interprets a double-quoted string literal with the escapes
+// \n \t \r \0 \\ \".
+func unquote(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, strconv.ErrSyntax
+	}
+	body := s[1 : len(s)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, strconv.ErrSyntax
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, strconv.ErrSyntax
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,344 @@
+package asm
+
+import "repro/internal/isa"
+
+// encode emits the word(s) for one mnemonic, expanding pseudo
+// instructions.
+func (a *assembler) encode(m string, ops []operand) error {
+	switch m {
+	// R-type arithmetic/logic
+	case "add":
+		return a.rType(m, ops, isa.FnADD)
+	case "addu":
+		return a.rType(m, ops, isa.FnADDU)
+	case "sub":
+		return a.rType(m, ops, isa.FnSUB)
+	case "subu":
+		return a.rType(m, ops, isa.FnSUBU)
+	case "and":
+		return a.rType(m, ops, isa.FnAND)
+	case "or":
+		return a.rType(m, ops, isa.FnOR)
+	case "xor":
+		return a.rType(m, ops, isa.FnXOR)
+	case "nor":
+		return a.rType(m, ops, isa.FnNOR)
+	case "slt":
+		return a.rType(m, ops, isa.FnSLT)
+	case "sltu":
+		return a.rType(m, ops, isa.FnSLTU)
+
+	// shifts
+	case "sll":
+		return a.shift(m, ops, isa.FnSLL)
+	case "srl":
+		return a.shift(m, ops, isa.FnSRL)
+	case "sra":
+		return a.shift(m, ops, isa.FnSRA)
+	case "sllv":
+		return a.shiftV(m, ops, isa.FnSLLV)
+	case "srlv":
+		return a.shiftV(m, ops, isa.FnSRLV)
+	case "srav":
+		return a.shiftV(m, ops, isa.FnSRAV)
+
+	// multiply/divide unit
+	case "mult", "multu", "div2", "divu":
+		regs, err := a.wantRegs(m, ops, 2)
+		if err != nil {
+			return err
+		}
+		fn := map[string]uint32{
+			"mult": isa.FnMULT, "multu": isa.FnMULTU,
+			"div2": isa.FnDIV, "divu": isa.FnDIVU,
+		}[m]
+		return a.emit(isa.EncodeR(fn, 0, regs[0], regs[1], 0))
+	case "mfhi", "mflo", "mthi", "mtlo":
+		regs, err := a.wantRegs(m, ops, 1)
+		if err != nil {
+			return err
+		}
+		switch m {
+		case "mfhi":
+			return a.emit(isa.EncodeR(isa.FnMFHI, regs[0], 0, 0, 0))
+		case "mflo":
+			return a.emit(isa.EncodeR(isa.FnMFLO, regs[0], 0, 0, 0))
+		case "mthi":
+			return a.emit(isa.EncodeR(isa.FnMTHI, 0, regs[0], 0, 0))
+		default:
+			return a.emit(isa.EncodeR(isa.FnMTLO, 0, regs[0], 0, 0))
+		}
+
+	// I-type arithmetic/logic
+	case "addi":
+		return a.iTypeArith(m, ops, isa.OpADDI, true)
+	case "addiu":
+		return a.iTypeArith(m, ops, isa.OpADDIU, true)
+	case "slti":
+		return a.iTypeArith(m, ops, isa.OpSLTI, true)
+	case "sltiu":
+		return a.iTypeArith(m, ops, isa.OpSLTIU, true)
+	case "andi":
+		return a.iTypeArith(m, ops, isa.OpANDI, false)
+	case "ori":
+		return a.iTypeArith(m, ops, isa.OpORI, false)
+	case "xori":
+		return a.iTypeArith(m, ops, isa.OpXORI, false)
+	case "lui":
+		if len(ops) != 2 || ops[0].kind != opReg || ops[1].kind != opImm {
+			return a.errf("lui wants $rt, imm")
+		}
+		imm, err := a.immIn(m, ops[1].imm, false)
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeI(isa.OpLUI, ops[0].reg, 0, imm))
+
+	// loads/stores
+	case "lw":
+		return a.memOp(m, ops, isa.OpLW)
+	case "lh":
+		return a.memOp(m, ops, isa.OpLH)
+	case "lhu":
+		return a.memOp(m, ops, isa.OpLHU)
+	case "lb":
+		return a.memOp(m, ops, isa.OpLB)
+	case "lbu":
+		return a.memOp(m, ops, isa.OpLBU)
+	case "sw":
+		return a.memOp(m, ops, isa.OpSW)
+	case "sh":
+		return a.memOp(m, ops, isa.OpSH)
+	case "sb":
+		return a.memOp(m, ops, isa.OpSB)
+
+	// branches
+	case "beq":
+		return a.branch2(m, ops, isa.OpBEQ)
+	case "bne":
+		return a.branch2(m, ops, isa.OpBNE)
+	case "blez":
+		return a.branch1(m, ops, isa.OpBLEZ, 0)
+	case "bgtz":
+		return a.branch1(m, ops, isa.OpBGTZ, 0)
+	case "bltz":
+		return a.branch1(m, ops, isa.OpRegImm, isa.RtBLTZ)
+	case "bgez":
+		return a.branch1(m, ops, isa.OpRegImm, isa.RtBGEZ)
+
+	// jumps
+	case "j", "jal":
+		if len(ops) != 1 || ops[0].kind != opSym {
+			return a.errf("%s wants a label", m)
+		}
+		op := uint32(isa.OpJ)
+		if m == "jal" {
+			op = isa.OpJAL
+		}
+		return a.emitReloc(isa.EncodeJ(op, 0), relJump, ops[0].sym, ops[0].addend)
+	case "jr":
+		regs, err := a.wantRegs(m, ops, 1)
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnJR, 0, regs[0], 0, 0))
+	case "jalr":
+		regs, err := a.wantRegs(m, ops, 1)
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnJALR, isa.RegRA, regs[0], 0, 0))
+
+	case "syscall":
+		if len(ops) != 0 {
+			return a.errf("syscall takes no operands")
+		}
+		return a.emit(isa.EncodeR(isa.FnSYSCALL, 0, 0, 0, 0))
+
+	default:
+		return a.encodePseudo(m, ops)
+	}
+}
+
+// encodePseudo expands the assembler's pseudo instructions.
+func (a *assembler) encodePseudo(m string, ops []operand) error {
+	switch m {
+	case "nop":
+		return a.emit(0) // sll $0,$0,0
+
+	case "move":
+		regs, err := a.wantRegs(m, ops, 2)
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnADDU, regs[0], regs[1], 0, 0))
+
+	case "neg":
+		regs, err := a.wantRegs(m, ops, 2)
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnSUBU, regs[0], 0, regs[1], 0))
+
+	case "not":
+		regs, err := a.wantRegs(m, ops, 2)
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnNOR, regs[0], regs[1], 0, 0))
+
+	case "li":
+		if len(ops) != 2 || ops[0].kind != opReg || ops[1].kind != opImm {
+			return a.errf("li wants $rd, imm")
+		}
+		return a.loadImm(ops[0].reg, ops[1].imm)
+
+	case "la":
+		if len(ops) != 2 || ops[0].kind != opReg || ops[1].kind != opSym {
+			return a.errf("la wants $rd, label")
+		}
+		if err := a.emitReloc(isa.EncodeI(isa.OpLUI, ops[0].reg, 0, 0),
+			relHi16, ops[1].sym, ops[1].addend); err != nil {
+			return err
+		}
+		return a.emitReloc(isa.EncodeI(isa.OpORI, ops[0].reg, ops[0].reg, 0),
+			relLo16, ops[1].sym, ops[1].addend)
+
+	case "b":
+		if len(ops) != 1 || ops[0].kind != opSym {
+			return a.errf("b wants a label")
+		}
+		return a.emitReloc(isa.EncodeI(isa.OpBEQ, 0, 0, 0),
+			relBranch, ops[0].sym, ops[0].addend)
+
+	case "beqz":
+		if len(ops) != 2 || ops[0].kind != opReg || ops[1].kind != opSym {
+			return a.errf("beqz wants $rs, label")
+		}
+		return a.emitReloc(isa.EncodeI(isa.OpBEQ, 0, ops[0].reg, 0),
+			relBranch, ops[1].sym, ops[1].addend)
+
+	case "bnez":
+		if len(ops) != 2 || ops[0].kind != opReg || ops[1].kind != opSym {
+			return a.errf("bnez wants $rs, label")
+		}
+		return a.emitReloc(isa.EncodeI(isa.OpBNE, 0, ops[0].reg, 0),
+			relBranch, ops[1].sym, ops[1].addend)
+
+	case "blt", "bge", "bgt", "ble", "bltu", "bgeu":
+		if len(ops) != 3 || ops[0].kind != opReg || ops[1].kind != opReg || ops[2].kind != opSym {
+			return a.errf("%s wants $rs, $rt, label", m)
+		}
+		rs, rt := ops[0].reg, ops[1].reg
+		slt := uint32(isa.FnSLT)
+		if m == "bltu" || m == "bgeu" {
+			slt = isa.FnSLTU
+		}
+		// bgt/ble compare swapped operands.
+		if m == "bgt" || m == "ble" {
+			rs, rt = rt, rs
+		}
+		if err := a.emit(isa.EncodeR(slt, isa.RegAT, rs, rt, 0)); err != nil {
+			return err
+		}
+		op := uint32(isa.OpBNE) // blt/bgt/bltu: branch if $at != 0
+		if m == "bge" || m == "ble" || m == "bgeu" {
+			op = isa.OpBEQ
+		}
+		return a.emitReloc(isa.EncodeI(op, 0, isa.RegAT, 0),
+			relBranch, ops[2].sym, ops[2].addend)
+
+	case "mul":
+		regs, err := a.wantRegs(m, ops, 3)
+		if err != nil {
+			return err
+		}
+		if err := a.emit(isa.EncodeR(isa.FnMULT, 0, regs[1], regs[2], 0)); err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnMFLO, regs[0], 0, 0, 0))
+
+	case "div":
+		// Three-operand form is the pseudo; the native two-operand
+		// divide is spelled div2.
+		regs, err := a.wantRegs(m, ops, 3)
+		if err != nil {
+			return err
+		}
+		if err := a.emit(isa.EncodeR(isa.FnDIV, 0, regs[1], regs[2], 0)); err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnMFLO, regs[0], 0, 0, 0))
+
+	case "rem":
+		regs, err := a.wantRegs(m, ops, 3)
+		if err != nil {
+			return err
+		}
+		if err := a.emit(isa.EncodeR(isa.FnDIV, 0, regs[1], regs[2], 0)); err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeR(isa.FnMFHI, regs[0], 0, 0, 0))
+
+	default:
+		return a.errf("unknown instruction %q", m)
+	}
+}
+
+// loadImm emits the shortest sequence materializing v into rd.
+func (a *assembler) loadImm(rd int, v int64) error {
+	if v >= -32768 && v <= 32767 {
+		return a.emit(isa.EncodeI(isa.OpADDIU, rd, 0, uint32(v)&0xffff))
+	}
+	if v >= 0 && v <= 0xffff {
+		return a.emit(isa.EncodeI(isa.OpORI, rd, 0, uint32(v)))
+	}
+	u := uint32(v)
+	if err := a.emit(isa.EncodeI(isa.OpLUI, rd, 0, u>>16)); err != nil {
+		return err
+	}
+	if u&0xffff != 0 {
+		return a.emit(isa.EncodeI(isa.OpORI, rd, rd, u&0xffff))
+	}
+	return nil
+}
+
+// resolve patches all relocations once every label is known.
+func (a *assembler) resolve() error {
+	for _, r := range a.relocs {
+		target, ok := a.symbols[r.symbol]
+		if !ok {
+			return &Error{Line: r.line, Msg: "undefined symbol \"" + r.symbol + "\""}
+		}
+		addr := target + uint32(r.addend)
+		switch r.kind {
+		case relHi16:
+			// Paired with an ori, which zero-extends: plain split.
+			a.text[r.index] |= (addr >> 16) & 0xffff
+		case relHi16Adj:
+			// Paired with a load/store offset, which sign-extends:
+			// pre-add the carry so hi<<16 + signext(lo) == addr.
+			a.text[r.index] |= ((addr + 0x8000) >> 16) & 0xffff
+		case relLo16:
+			a.text[r.index] |= addr & 0xffff
+		case relBranch:
+			pc := isa.TextBase + uint32(4*r.index)
+			diff := int32(addr) - int32(pc+4)
+			if diff%4 != 0 {
+				return &Error{Line: r.line, Msg: "misaligned branch target"}
+			}
+			words := diff / 4
+			if words < -32768 || words > 32767 {
+				return &Error{Line: r.line, Msg: "branch target out of range"}
+			}
+			a.text[r.index] |= uint32(words) & 0xffff
+		case relJump:
+			a.text[r.index] |= (addr >> 2) & 0x3ffffff
+		case relWord:
+			for i := 0; i < 4; i++ {
+				a.data[r.index+i] = byte(addr >> (8 * i))
+			}
+		}
+	}
+	return nil
+}

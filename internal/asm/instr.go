@@ -1,0 +1,231 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// operand is a parsed instruction operand.
+type operand struct {
+	kind   opKind
+	reg    int
+	imm    int64
+	sym    string
+	addend int32
+	base   int // for mem operands: offset(base)
+}
+
+type opKind int
+
+const (
+	opReg opKind = iota
+	opImm
+	opSym
+	opMem // imm(base) or sym(base)
+)
+
+func (a *assembler) parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return operand{}, a.errf("empty operand")
+	case s[0] == '$':
+		r, ok := isa.RegByName(s[1:])
+		if !ok {
+			return operand{}, a.errf("unknown register %q", s)
+		}
+		return operand{kind: opReg, reg: r}, nil
+	case strings.HasSuffix(s, ")"):
+		open := strings.Index(s, "(")
+		if open < 0 {
+			return operand{}, a.errf("unbalanced parens in %q", s)
+		}
+		baseStr := strings.TrimSpace(s[open+1 : len(s)-1])
+		if baseStr == "" || baseStr[0] != '$' {
+			return operand{}, a.errf("memory operand base must be a register in %q", s)
+		}
+		base, ok := isa.RegByName(baseStr[1:])
+		if !ok {
+			return operand{}, a.errf("unknown base register %q", baseStr)
+		}
+		offStr := strings.TrimSpace(s[:open])
+		if offStr == "" {
+			return operand{kind: opMem, imm: 0, base: base}, nil
+		}
+		if v, err := parseInt(offStr); err == nil {
+			return operand{kind: opMem, imm: v, base: base}, nil
+		}
+		if sym, addend, ok := parseSymRef(offStr); ok {
+			return operand{kind: opMem, sym: sym, addend: addend, base: base}, nil
+		}
+		return operand{}, a.errf("bad memory offset %q", offStr)
+	default:
+		if v, err := parseInt(s); err == nil {
+			return operand{kind: opImm, imm: v}, nil
+		}
+		if sym, addend, ok := parseSymRef(s); ok {
+			return operand{kind: opSym, sym: sym, addend: addend}, nil
+		}
+		return operand{}, a.errf("bad operand %q", s)
+	}
+}
+
+// emit appends an encoded instruction word.
+func (a *assembler) emit(word uint32) error {
+	if a.inData {
+		return a.errf("instruction in .data segment")
+	}
+	a.text = append(a.text, word)
+	return nil
+}
+
+// emitReloc appends a word carrying a relocation against sym.
+func (a *assembler) emitReloc(word uint32, kind relocKind, sym string, addend int32) error {
+	a.relocs = append(a.relocs, reloc{
+		kind: kind, symbol: sym, index: len(a.text), line: a.line, addend: addend,
+	})
+	return a.emit(word)
+}
+
+func (a *assembler) doInstruction(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+	var ops []operand
+	if len(fields) == 2 {
+		for _, s := range splitOperands(fields[1]) {
+			op, err := a.parseOperand(s)
+			if err != nil {
+				return err
+			}
+			ops = append(ops, op)
+		}
+	}
+	return a.encode(mnemonic, ops)
+}
+
+// operand-shape helpers
+
+func (a *assembler) wantRegs(m string, ops []operand, n int) ([]int, error) {
+	if len(ops) != n {
+		return nil, a.errf("%s wants %d operands, got %d", m, n, len(ops))
+	}
+	regs := make([]int, n)
+	for i, op := range ops {
+		if op.kind != opReg {
+			return nil, a.errf("%s operand %d must be a register", m, i+1)
+		}
+		regs[i] = op.reg
+	}
+	return regs, nil
+}
+
+func (a *assembler) immIn(m string, v int64, signed bool) (uint32, error) {
+	if signed {
+		if v < -32768 || v > 32767 {
+			return 0, a.errf("%s immediate %d out of signed 16-bit range", m, v)
+		}
+		return uint32(v) & 0xffff, nil
+	}
+	if v < 0 || v > 0xffff {
+		return 0, a.errf("%s immediate %d out of unsigned 16-bit range", m, v)
+	}
+	return uint32(v), nil
+}
+
+// rType encodes "op $rd, $rs, $rt".
+func (a *assembler) rType(m string, ops []operand, funct uint32) error {
+	regs, err := a.wantRegs(m, ops, 3)
+	if err != nil {
+		return err
+	}
+	return a.emit(isa.EncodeR(funct, regs[0], regs[1], regs[2], 0))
+}
+
+// iTypeArith encodes "op $rt, $rs, imm".
+func (a *assembler) iTypeArith(m string, ops []operand, op uint32, signed bool) error {
+	if len(ops) != 3 || ops[0].kind != opReg || ops[1].kind != opReg || ops[2].kind != opImm {
+		return a.errf("%s wants $rt, $rs, imm", m)
+	}
+	imm, err := a.immIn(m, ops[2].imm, signed)
+	if err != nil {
+		return err
+	}
+	return a.emit(isa.EncodeI(op, ops[0].reg, ops[1].reg, imm))
+}
+
+// shift encodes "op $rd, $rt, shamt".
+func (a *assembler) shift(m string, ops []operand, funct uint32) error {
+	if len(ops) != 3 || ops[0].kind != opReg || ops[1].kind != opReg || ops[2].kind != opImm {
+		return a.errf("%s wants $rd, $rt, shamt", m)
+	}
+	if ops[2].imm < 0 || ops[2].imm > 31 {
+		return a.errf("%s shift amount out of range", m)
+	}
+	return a.emit(isa.EncodeR(funct, ops[0].reg, 0, ops[1].reg, uint32(ops[2].imm)))
+}
+
+// shiftV encodes "op $rd, $rt, $rs" (shift amount in $rs).
+func (a *assembler) shiftV(m string, ops []operand, funct uint32) error {
+	regs, err := a.wantRegs(m, ops, 3)
+	if err != nil {
+		return err
+	}
+	return a.emit(isa.EncodeR(funct, regs[0], regs[2], regs[1], 0))
+}
+
+// memOp encodes loads/stores "op $rt, off($base)" or "op $rt, label".
+func (a *assembler) memOp(m string, ops []operand, op uint32) error {
+	if len(ops) != 2 || ops[0].kind != opReg {
+		return a.errf("%s wants $rt, address", m)
+	}
+	rt := ops[0].reg
+	switch ops[1].kind {
+	case opMem:
+		if ops[1].sym != "" {
+			// label(base): lui $at, hi(label); add $at,$at,$base; op $rt, lo($at)
+			if err := a.emitReloc(isa.EncodeI(isa.OpLUI, isa.RegAT, 0, 0),
+				relHi16Adj, ops[1].sym, ops[1].addend); err != nil {
+				return err
+			}
+			if err := a.emit(isa.EncodeR(isa.FnADDU, isa.RegAT, isa.RegAT, ops[1].base, 0)); err != nil {
+				return err
+			}
+			return a.emitReloc(isa.EncodeI(op, rt, isa.RegAT, 0),
+				relLo16, ops[1].sym, ops[1].addend)
+		}
+		imm, err := a.immIn(m, ops[1].imm, true)
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.EncodeI(op, rt, ops[1].base, imm))
+	case opSym:
+		// op $rt, label  →  lui $at, hi; op $rt, lo($at)
+		if err := a.emitReloc(isa.EncodeI(isa.OpLUI, isa.RegAT, 0, 0),
+			relHi16Adj, ops[1].sym, ops[1].addend); err != nil {
+			return err
+		}
+		return a.emitReloc(isa.EncodeI(op, rt, isa.RegAT, 0),
+			relLo16, ops[1].sym, ops[1].addend)
+	default:
+		return a.errf("%s wants a memory operand", m)
+	}
+}
+
+// branch encodes "op $rs, $rt, label" style branches.
+func (a *assembler) branch2(m string, ops []operand, op uint32) error {
+	if len(ops) != 3 || ops[0].kind != opReg || ops[1].kind != opReg || ops[2].kind != opSym {
+		return a.errf("%s wants $rs, $rt, label", m)
+	}
+	return a.emitReloc(isa.EncodeI(op, ops[1].reg, ops[0].reg, 0),
+		relBranch, ops[2].sym, ops[2].addend)
+}
+
+// branch1 encodes single-register compare-to-zero branches.
+func (a *assembler) branch1(m string, ops []operand, op uint32, rt int) error {
+	if len(ops) != 2 || ops[0].kind != opReg || ops[1].kind != opSym {
+		return a.errf("%s wants $rs, label", m)
+	}
+	return a.emitReloc(isa.EncodeI(op, rt, ops[0].reg, 0),
+		relBranch, ops[1].sym, ops[1].addend)
+}

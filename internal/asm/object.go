@@ -1,0 +1,151 @@
+package asm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Object file format ("MRX1")
+//
+// Assembled programs can be stored and reloaded without the source,
+// mirroring the assembler → object → simulator flow of a real
+// toolchain (SimpleScalar consumed precompiled binaries the same
+// way). The format is deliberately simple:
+//
+//	magic   "MRX1"
+//	entry   uvarint
+//	ntext   uvarint, then ntext little-endian uint32 words
+//	ndata   uvarint, then ndata raw bytes
+//	nsyms   uvarint, then nsyms of { nameLen uvarint, name, addr uvarint }
+//
+// Symbols are stored sorted by name so encoding is deterministic.
+
+const objMagic = "MRX1"
+
+// ErrBadObject reports a malformed MRX1 stream.
+var ErrBadObject = errors.New("asm: not an MRX1 object file")
+
+// WriteProgram serializes p to w in the MRX1 object format.
+func WriteProgram(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(objMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(p.Entry)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(p.Text))); err != nil {
+		return err
+	}
+	for _, word := range p.Text {
+		var wb [4]byte
+		binary.LittleEndian.PutUint32(wb[:], word)
+		if _, err := bw.Write(wb[:]); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(p.Data))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(p.Data); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if err := writeUvarint(uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := writeUvarint(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(p.Symbols[name])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProgram deserializes an MRX1 object.
+func ReadProgram(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(objMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("asm: reading object magic: %w", err)
+	}
+	if string(magic) != objMagic {
+		return nil, ErrBadObject
+	}
+	const maxReasonable = 1 << 28
+	readCount := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("asm: reading %s: %w", what, err)
+		}
+		if v > maxReasonable {
+			return 0, fmt.Errorf("asm: implausible %s %d", what, v)
+		}
+		return v, nil
+	}
+	entry, err := readCount("entry")
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Entry: uint32(entry), Symbols: make(map[string]uint32)}
+	ntext, err := readCount("text size")
+	if err != nil {
+		return nil, err
+	}
+	p.Text = make([]uint32, ntext)
+	var wb [4]byte
+	for i := range p.Text {
+		if _, err := io.ReadFull(br, wb[:]); err != nil {
+			return nil, fmt.Errorf("asm: reading text word %d: %w", i, err)
+		}
+		p.Text[i] = binary.LittleEndian.Uint32(wb[:])
+	}
+	ndata, err := readCount("data size")
+	if err != nil {
+		return nil, err
+	}
+	p.Data = make([]byte, ndata)
+	if _, err := io.ReadFull(br, p.Data); err != nil {
+		return nil, fmt.Errorf("asm: reading data: %w", err)
+	}
+	nsyms, err := readCount("symbol count")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nsyms; i++ {
+		nameLen, err := readCount("symbol name length")
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("asm: reading symbol %d: %w", i, err)
+		}
+		addr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("asm: reading symbol %d address: %w", i, err)
+		}
+		p.Symbols[string(name)] = uint32(addr)
+	}
+	return p, nil
+}

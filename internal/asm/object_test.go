@@ -1,0 +1,100 @@
+package asm
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestObjectRoundTrip(t *testing.T) {
+	p := mustAsm(t, `
+	.data
+	x:	.word 1, 2, 3
+	s:	.asciiz "hi"
+	.text
+	main:
+		la $t0, x
+		lw $t1, 0($t0)
+	loop:	addiu $t1, $t1, 1
+		bne $t1, $t2, loop
+		li $v0, 10
+		syscall
+	`)
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Text, p.Text) {
+		t.Error("text differs")
+	}
+	if !bytes.Equal(got.Data, p.Data) {
+		t.Error("data differs")
+	}
+	if got.Entry != p.Entry {
+		t.Errorf("entry %#x != %#x", got.Entry, p.Entry)
+	}
+	if !reflect.DeepEqual(got.Symbols, p.Symbols) {
+		t.Errorf("symbols differ: %v vs %v", got.Symbols, p.Symbols)
+	}
+}
+
+func TestObjectEmptyProgram(t *testing.T) {
+	p := &Program{Entry: 0x400000, Symbols: map[string]uint32{}}
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Text) != 0 || len(got.Data) != 0 || len(got.Symbols) != 0 {
+		t.Errorf("empty program round trip: %+v", got)
+	}
+}
+
+func TestObjectDeterministicEncoding(t *testing.T) {
+	p := mustAsm(t, ".data\nb: .word 1\na: .word 2\nc: .word 3\n.text\nmain: nop\n")
+	var one, two bytes.Buffer
+	if err := WriteProgram(&one, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProgram(&two, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestObjectBadMagic(t *testing.T) {
+	if _, err := ReadProgram(bytes.NewReader([]byte("NOPE1234"))); err != ErrBadObject {
+		t.Errorf("err = %v, want ErrBadObject", err)
+	}
+}
+
+func TestObjectTruncated(t *testing.T) {
+	p := mustAsm(t, ".data\nx: .word 1\n.text\nmain: nop\nj main\n")
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut += 3 {
+		if _, err := ReadProgram(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestObjectRejectsImplausibleSizes(t *testing.T) {
+	// magic + entry 0 + absurd text count.
+	raw := append([]byte(objMagic), 0x00, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := ReadProgram(bytes.NewReader(raw)); err == nil {
+		t.Error("implausible text size accepted")
+	}
+}

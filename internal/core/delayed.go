@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// Delayed wraps a predictor so that table updates take effect only
+// after a further delay predictions have been made, modeling the
+// pipeline distance between making a prediction and learning the
+// instruction's outcome (paper section 4.5). With delay 0 the wrapper
+// is behaviourally identical to the wrapped predictor.
+//
+// If the same static instruction recurs within the delay window, its
+// later predictions are served from stale tables — exactly the effect
+// the paper measures in Figure 17.
+type Delayed struct {
+	p     Predictor
+	delay int
+	// pending is a FIFO of updates not yet applied; head indexes the
+	// oldest. The queue never exceeds delay+1 entries.
+	pending []pendingUpdate
+	head    int
+}
+
+type pendingUpdate struct {
+	pc    uint32
+	value uint32
+}
+
+// NewDelayed wraps p with an update delay of delay predictions.
+// It panics if delay is negative.
+func NewDelayed(p Predictor, delay int) *Delayed {
+	if delay < 0 {
+		panic("core: negative update delay")
+	}
+	return &Delayed{p: p, delay: delay}
+}
+
+// Predict first applies every pending update older than the delay
+// window, then predicts with the wrapped predictor.
+func (d *Delayed) Predict(pc uint32) uint32 {
+	for len(d.pending)-d.head > d.delay {
+		u := d.pending[d.head]
+		d.head++
+		d.p.Update(u.pc, u.value)
+	}
+	// Reclaim consumed prefix once it dominates the backing array so
+	// the queue stays O(delay) regardless of trace length.
+	if d.head > 16 && d.head*2 >= len(d.pending) {
+		n := copy(d.pending, d.pending[d.head:])
+		d.pending = d.pending[:n]
+		d.head = 0
+	}
+	return d.p.Predict(pc)
+}
+
+// Update enqueues the outcome; it reaches the wrapped predictor's
+// tables only after delay further predictions.
+func (d *Delayed) Update(pc, value uint32) {
+	if d.head > 0 && d.head == len(d.pending) {
+		d.pending = d.pending[:0]
+		d.head = 0
+	}
+	d.pending = append(d.pending, pendingUpdate{pc: pc, value: value})
+}
+
+// Flush applies all pending updates immediately. Useful when reusing
+// the wrapped predictor after a delayed run.
+func (d *Delayed) Flush() {
+	for d.head < len(d.pending) {
+		u := d.pending[d.head]
+		d.head++
+		d.p.Update(u.pc, u.value)
+	}
+	d.pending = d.pending[:0]
+	d.head = 0
+}
+
+// Name implements Predictor.
+func (d *Delayed) Name() string { return fmt.Sprintf("%s@delay%d", d.p.Name(), d.delay) }
+
+// SizeBits implements Predictor (the delay queue models pipeline
+// state, not predictor storage, and is not counted).
+func (d *Delayed) SizeBits() int64 { return d.p.SizeBits() }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// FCM is the finite context method predictor (Sazeides & Smith): a
+// two-level structure in which the level-1 table, indexed by PC, holds
+// a hashed history of the values recently produced by the instruction,
+// and the shared level-2 table, indexed by that history, holds the
+// value most likely to follow the context.
+type FCM struct {
+	l1bits uint
+	l2bits uint
+	h      hash.Func
+	l1     []uint64 // hashed value history per static instruction
+	l2     []uint32 // predicted next value per context
+}
+
+// NewFCM returns an FCM with 2^l1bits level-1 entries and 2^l2bits
+// level-2 entries, hashing histories with the paper's FS R-5 function.
+// Use NewFCMHash to supply a different hash.
+//
+// Size accounting: level-1 stores only the hashed history (l2bits bits
+// per entry — the full history need not be stored since the hash
+// updates incrementally); level-2 stores a 32-bit value per entry.
+// Total: 2^l1bits × l2bits + 2^l2bits × 32 bits.
+func NewFCM(l1bits, l2bits uint) *FCM {
+	return NewFCMHash(l1bits, l2bits, hash.NewFSR5(l2bits))
+}
+
+// NewFCMHash is NewFCM with an explicit history hash function. The
+// hash must produce l2bits-wide indices; NewFCMHash panics otherwise.
+func NewFCMHash(l1bits, l2bits uint, h hash.Func) *FCM {
+	checkBits("FCM level-1", l1bits, 30)
+	checkBits("FCM level-2", l2bits, 30)
+	if h.IndexBits() != l2bits {
+		panic(fmt.Sprintf("core: hash produces %d-bit indices, level-2 needs %d",
+			h.IndexBits(), l2bits))
+	}
+	return &FCM{
+		l1bits: l1bits,
+		l2bits: l2bits,
+		h:      h,
+		l1:     make([]uint64, 1<<l1bits),
+		l2:     make([]uint32, 1<<l2bits),
+	}
+}
+
+// Predict looks up the instruction's history in level-1 and returns
+// the level-2 value stored for that context.
+func (p *FCM) Predict(pc uint32) uint32 {
+	return p.l2[p.l1[pcIndex(pc, p.l1bits)]]
+}
+
+// Update writes the produced value into the level-2 entry the
+// prediction came from and appends the value to the level-1 history.
+func (p *FCM) Update(pc, value uint32) {
+	i := pcIndex(pc, p.l1bits)
+	h := p.l1[i]
+	p.l2[h] = value
+	p.l1[i] = p.h.Update(h, uint64(value))
+}
+
+// L2Index implements L2Indexer.
+func (p *FCM) L2Index(pc uint32) uint64 { return p.l1[pcIndex(pc, p.l1bits)] }
+
+// L2Entries implements L2Indexer.
+func (p *FCM) L2Entries() int { return len(p.l2) }
+
+// L1Entries implements HistoryFeeder.
+func (p *FCM) L1Entries() int { return len(p.l1) }
+
+// L1Index implements HistoryFeeder.
+func (p *FCM) L1Index(pc uint32) uint32 { return pcIndex(pc, p.l1bits) }
+
+// HistoryInput implements HistoryFeeder: the FCM's history consumes
+// the produced values themselves.
+func (p *FCM) HistoryInput(pc, value uint32) uint64 { return uint64(value) }
+
+// Order returns the number of history values influencing a prediction.
+func (p *FCM) Order() int { return p.h.Order() }
+
+// Name implements Predictor.
+func (p *FCM) Name() string { return fmt.Sprintf("fcm-2^%d/2^%d", p.l1bits, p.l2bits) }
+
+// SizeBits implements Predictor.
+func (p *FCM) SizeBits() int64 {
+	return int64(len(p.l1))*int64(p.l2bits) + int64(len(p.l2))*32
+}

@@ -1,0 +1,37 @@
+package core
+
+import "fmt"
+
+// LastValue is the last value predictor (Lipasti): the next value
+// produced by an instruction is predicted to equal the previous one.
+// It excels on constant patterns and is the cheapest table-based
+// predictor.
+type LastValue struct {
+	bits  uint
+	table []uint32
+}
+
+// NewLastValue returns a last value predictor with 2^bits entries.
+//
+// Size accounting: 2^bits entries × 32 bits (one stored value each).
+func NewLastValue(bits uint) *LastValue {
+	checkBits("last-value", bits, 30)
+	return &LastValue{bits: bits, table: make([]uint32, 1<<bits)}
+}
+
+// Predict returns the value last produced by the instruction at pc
+// (or by whichever instruction aliases to its entry).
+func (p *LastValue) Predict(pc uint32) uint32 {
+	return p.table[pcIndex(pc, p.bits)]
+}
+
+// Update stores the produced value.
+func (p *LastValue) Update(pc, value uint32) {
+	p.table[pcIndex(pc, p.bits)] = value
+}
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return fmt.Sprintf("lvp-2^%d", p.bits) }
+
+// SizeBits implements Predictor.
+func (p *LastValue) SizeBits() int64 { return int64(len(p.table)) * 32 }

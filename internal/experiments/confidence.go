@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// runExtConfidence evaluates the confidence estimator the paper's
+// section 4.2 sketches as future work — tagging the level-2 table
+// with bits of a second, orthogonal hash function to track
+// hash-aliasing — against classical per-instruction saturating
+// counters, both on a DFCM 2^16/2^12.
+//
+// A good estimator maximizes accuracy among confident predictions at
+// high coverage. The paper's hypothesis is that hash tags work well
+// because hash aliasing dominates the remaining mispredictions
+// (Figure 14: 59%).
+func runExtConfidence(cfg Config) (*Result, error) {
+	res := &Result{ID: "ext-confidence",
+		Title: "confidence estimation for the DFCM: counters vs level-2 hash tags (section 4.2 proposal)"}
+
+	type scheme struct {
+		name string
+		mk   func() core.ConfidentPredictor
+	}
+	schemes := []scheme{
+		{"counter 4b t=4", func() core.ConfidentPredictor {
+			return core.NewCounterConfidence(core.NewDFCM(16, 12), 16, 15, 4)
+		}},
+		{"counter 4b t=8", func() core.ConfidentPredictor {
+			return core.NewCounterConfidence(core.NewDFCM(16, 12), 16, 15, 8)
+		}},
+		{"counter 4b t=15", func() core.ConfidentPredictor {
+			return core.NewCounterConfidence(core.NewDFCM(16, 12), 16, 15, 15)
+		}},
+		{"hash tag 4b (R-3)", func() core.ConfidentPredictor {
+			return core.NewHashTag(core.NewDFCM(16, 12), 4, 3)
+		}},
+		{"hash tag 8b (R-3)", func() core.ConfidentPredictor {
+			return core.NewHashTag(core.NewDFCM(16, 12), 8, 3)
+		}},
+		{"hash tag 8b (R-7)", func() core.ConfidentPredictor {
+			return core.NewHashTag(core.NewDFCM(16, 12), 8, 7)
+		}},
+		{"tag 8b & ctr t=4", func() core.ConfidentPredictor {
+			p := core.NewDFCM(16, 12)
+			return core.NewCombined(p,
+				core.NewHashTag(p, 8, 3),
+				core.NewCounterConfidence(p, 16, 15, 4))
+		}},
+	}
+
+	t := &metrics.Table{Headers: []string{
+		"scheme", "coverage", "confident acc", "raw acc", "extra Kbit"}}
+	type row struct {
+		cov, acc float64
+	}
+	var tagBest, ctrBest row
+	for _, s := range schemes {
+		var agg core.ConfidenceResult
+		for _, bench := range cfg.benchmarks() {
+			tr, err := traceFor(bench, cfg.budget())
+			if err != nil {
+				return nil, err
+			}
+			r := core.RunConfident(s.mk(), trace.NewReader(tr))
+			agg.All.Add(r.All)
+			agg.Confident.Add(r.Confident)
+		}
+		p := s.mk()
+		extra := p.SizeBits() - core.NewDFCM(16, 12).SizeBits()
+		t.AddRow(s.name, metrics.F(agg.Coverage()),
+			metrics.F(agg.Confident.Accuracy()), metrics.F(agg.All.Accuracy()),
+			metrics.Kbit(extra))
+		r := row{cov: agg.Coverage(), acc: agg.Confident.Accuracy()}
+		if s.name == "hash tag 8b (R-3)" {
+			tagBest = r
+		}
+		if s.name == "counter 4b t=8" {
+			ctrBest = r
+		}
+	}
+	res.Tables = append(res.Tables, t)
+	res.addNote("hash tag 8b: coverage %.3f at confident accuracy %.3f vs counter t=8: coverage %.3f at %.3f",
+		tagBest.cov, tagBest.acc, ctrBest.cov, ctrBest.acc)
+	res.addNote(fmt.Sprintf("the tag estimator targets exactly the hash-aliasing failures that dominate DFCM mispredictions (Figure 14)"))
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "ext-confidence",
+		Title:    "confidence estimation (hash tags vs counters)",
+		Artifact: "section 4.2 proposal, extension",
+		Run:      runExtConfidence,
+	})
+}

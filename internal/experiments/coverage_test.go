@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small-budget end-to-end runs of the experiments the targeted tests
+// above do not already execute, asserting their structural outputs.
+
+func TestFig6And9Run(t *testing.T) {
+	cfg := Config{Budget: 120_000}
+	r6, err := runFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r6.Tables) != 2 { // norm and li
+		t.Fatalf("fig6 has %d tables", len(r6.Tables))
+	}
+	for _, tbl := range r6.Tables {
+		if len(tbl.Rows) == 0 || len(tbl.Headers) != 2 {
+			t.Errorf("fig6 table malformed: %+v", tbl.Headers)
+		}
+	}
+	r9, err := runFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range r9.Tables {
+		if len(tbl.Headers) != 3 { // rank, FCM, DFCM
+			t.Errorf("fig9 table headers: %v", tbl.Headers)
+		}
+	}
+	// The key observation must be reported as a note, not a warning.
+	joined := strings.Join(r9.Notes, "\n")
+	if strings.Contains(joined, "WARNING") {
+		t.Errorf("fig9 reported a deviation:\n%s", joined)
+	}
+}
+
+func TestFig11aRun(t *testing.T) {
+	cfg := Config{Budget: 100_000, Benchmarks: []string{"li", "m88ksim"}}
+	res, err := runFig11a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != len(dfcmL1Sweep) {
+		t.Fatalf("fig11a has %d tables, want %d", len(res.Tables), len(dfcmL1Sweep))
+	}
+	for _, tbl := range res.Tables {
+		if len(tbl.Rows) != len(l2Sweep) {
+			t.Errorf("curve %q has %d points", tbl.Title, len(tbl.Rows))
+		}
+	}
+}
+
+func TestFig11bRun(t *testing.T) {
+	cfg := Config{Budget: 80_000, Benchmarks: []string{"li", "go"}}
+	res, err := runFig11b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 { // two fronts + comparison
+		t.Fatalf("fig11b has %d tables", len(res.Tables))
+	}
+	// Fronts are monotone in both size and accuracy.
+	for _, tbl := range res.Tables[:2] {
+		prevAcc := -1.0
+		for _, row := range tbl.Rows {
+			acc := cellFloat(t, row[2])
+			if acc <= prevAcc {
+				t.Errorf("%s: front not strictly improving at %v", tbl.Title, row)
+			}
+			prevAcc = acc
+		}
+	}
+}
+
+func TestExtConfidenceRun(t *testing.T) {
+	cfg := Config{Budget: 100_000, Benchmarks: []string{"li", "ijpeg"}}
+	res, err := runExtConfidence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("%d schemes", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		cov := cellFloat(t, row[1])
+		acc := cellFloat(t, row[2])
+		raw := cellFloat(t, row[3])
+		if cov <= 0 || cov > 1 {
+			t.Errorf("%s: coverage %v", row[0], cov)
+		}
+		// Gating must not reduce accuracy below the raw stream.
+		if acc < raw-0.01 {
+			t.Errorf("%s: confident accuracy %v below raw %v", row[0], acc, raw)
+		}
+	}
+}
+
+func TestExtRelatedWorkRun(t *testing.T) {
+	cfg := Config{Budget: 100_000, Benchmarks: []string{"li", "m88ksim"}}
+	res, err := runExtRelatedWork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := map[string]float64{}
+	for _, row := range res.Tables[0].Rows {
+		accs[row[0]] = cellFloat(t, row[2])
+	}
+	if accs["dfcm"] <= accs["lvp"] {
+		t.Errorf("dfcm %.3f should beat lvp %.3f", accs["dfcm"], accs["lvp"])
+	}
+	if accs["last-4"] < accs["lvp"]-0.02 {
+		t.Errorf("last-4 %.3f should be at least LVP %.3f", accs["last-4"], accs["lvp"])
+	}
+}
+
+func TestExtPredictabilityRun(t *testing.T) {
+	cfg := Config{Budget: 100_000, Benchmarks: []string{"li", "norm"}}
+	res, err := runExtPredictability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		dctx := cellFloat(t, row[4])
+		dfcm := cellFloat(t, row[6])
+		if dctx <= 0 {
+			t.Errorf("%s: dcontext ceiling %v", row[0], dctx)
+		}
+		if dfcm <= 0 {
+			t.Errorf("%s: dfcm accuracy %v", row[0], dfcm)
+		}
+	}
+}

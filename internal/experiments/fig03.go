@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// fcmL1Sweep is Figure 3's level-1 size axis.
+var fcmL1Sweep = []uint{0, 4, 6, 8, 10, 12, 14, 16}
+
+// fig3Points computes the (size, accuracy) points for every predictor
+// family of Figure 3. Shared with fig11b's Pareto construction.
+func fig3Points(cfg Config) (lvp, stride, fcm []metrics.Point, err error) {
+	for _, bits := range lvpStrideSweep {
+		b := bits
+		acc, err := weighted(cfg, func() core.Predictor { return core.NewLastValue(b) })
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		p := core.NewLastValue(b)
+		lvp = append(lvp, metrics.Point{Name: p.Name(), SizeBits: p.SizeBits(), Accuracy: acc})
+
+		acc, err = weighted(cfg, func() core.Predictor { return core.NewStride(b) })
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s := core.NewStride(b)
+		stride = append(stride, metrics.Point{Name: s.Name(), SizeBits: s.SizeBits(), Accuracy: acc})
+	}
+	for _, l1 := range fcmL1Sweep {
+		for _, l2 := range l2Sweep {
+			l1, l2 := l1, l2
+			acc, err := weighted(cfg, func() core.Predictor { return core.NewFCM(l1, l2) })
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			f := core.NewFCM(l1, l2)
+			fcm = append(fcm, metrics.Point{Name: f.Name(), SizeBits: f.SizeBits(), Accuracy: acc})
+		}
+	}
+	return lvp, stride, fcm, nil
+}
+
+func runFig3(cfg Config) (*Result, error) {
+	lvp, stride, fcm, err := fig3Points(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "fig3", Title: "LVP, stride and FCM: accuracy vs. size"}
+
+	curve := func(title string, pts []metrics.Point) *metrics.Table {
+		t := &metrics.Table{Title: title,
+			Headers: []string{"config", "size(Kbit)", "accuracy"}}
+		for _, p := range pts {
+			t.AddRow(p.Name, metrics.Kbit(p.SizeBits), metrics.F(p.Accuracy))
+		}
+		return t
+	}
+	res.Tables = append(res.Tables,
+		curve("last value predictor", lvp),
+		curve("stride predictor", stride),
+		curve("FCM (per level-1 size, level-2 2^8..2^20)", fcm),
+	)
+
+	chart := &metrics.Plot{
+		Title:  "Figure 3: accuracy vs predictor size",
+		XLabel: "size (Kbit)", YLabel: "prediction accuracy", LogX: true,
+	}
+	chart.AddPoints("lvp", lvp)
+	chart.AddPoints("stride", stride)
+	// One representative FCM curve per level-1 size would crowd the
+	// plot; show the envelope the paper's eye traces: the best FCM at
+	// each size (its Pareto front).
+	chart.AddPoints("fcm (best of sweep)", metrics.Pareto(fcm))
+	res.Charts = append(res.Charts, chart)
+
+	// Paper's qualitative claims for this figure.
+	bestSingle := 0.0
+	for _, p := range append(append([]metrics.Point{}, lvp...), stride...) {
+		if p.Accuracy > bestSingle {
+			bestSingle = p.Accuracy
+		}
+	}
+	bestFCM := 0.0
+	for _, p := range fcm {
+		if p.Accuracy > bestFCM {
+			bestFCM = p.Accuracy
+		}
+	}
+	res.addNote("best FCM accuracy %.3f vs best LVP/stride %.3f (paper: FCM is the most accurate but needs huge tables)",
+		bestFCM, bestSingle)
+	// Growing L2 at the largest L1 should keep helping.
+	var largeL1 []metrics.Point
+	for _, p := range fcm {
+		if p.Name == fmt.Sprintf("fcm-2^16/2^%d", 18) || p.Name == fmt.Sprintf("fcm-2^16/2^%d", 20) {
+			largeL1 = append(largeL1, p)
+		}
+	}
+	if len(largeL1) == 2 {
+		res.addNote("FCM 2^16 L1: going from 2^18 to 2^20 L2 entries moves accuracy %.3f -> %.3f",
+			largeL1[0].Accuracy, largeL1[1].Accuracy)
+	}
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "fig3",
+		Title:    "accuracy vs. storage for LVP, stride and FCM",
+		Artifact: "Figure 3",
+		Run:      runFig3,
+	})
+}

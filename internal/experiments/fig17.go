@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// delaySweep is Figure 17's x axis.
+var delaySweep = []int{0, 16, 32, 64, 128, 256, 512}
+
+func runFig17(cfg Config) (*Result, error) {
+	res := &Result{ID: "fig17", Title: "prediction accuracy under delayed update (2^16 level-1, 2^12 level-2)"}
+	t := &metrics.Table{Headers: []string{"delay (instructions)", "FCM", "DFCM"}}
+	var xs, fYs, dYs []float64
+	var f0, fN, d0, dN float64
+	for _, delay := range delaySweep {
+		delay := delay
+		f, err := weighted(cfg, func() core.Predictor {
+			return core.NewDelayed(core.NewFCM(16, 12), delay)
+		})
+		if err != nil {
+			return nil, err
+		}
+		d, err := weighted(cfg, func() core.Predictor {
+			return core.NewDelayed(core.NewDFCM(16, 12), delay)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if delay == 0 {
+			f0, d0 = f, d
+		}
+		fN, dN = f, d
+		xs = append(xs, float64(delay))
+		fYs = append(fYs, f)
+		dYs = append(dYs, d)
+		t.AddRow(fmt.Sprint(delay), metrics.F(f), metrics.F(d))
+	}
+	res.Tables = append(res.Tables, t)
+	chart := &metrics.Plot{
+		Title:  "Figure 17: accuracy under delayed update",
+		XLabel: "delay (instructions)", YLabel: "prediction accuracy",
+	}
+	chart.AddSeries("FCM", xs, fYs)
+	chart.AddSeries("DFCM", xs, dYs)
+	res.Charts = append(res.Charts, chart)
+	res.addNote("FCM loses %.3f and DFCM loses %.3f going from delay 0 to %d (paper: both suffer significantly, DFCM slightly more, same overall behaviour)",
+		f0-fN, d0-dN, delaySweep[len(delaySweep)-1])
+	if dN > fN {
+		res.addNote("DFCM stays ahead of FCM even at the largest delay")
+	}
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "fig17",
+		Title:    "delayed update",
+		Artifact: "Figure 17",
+		Run:      runFig17,
+	})
+}

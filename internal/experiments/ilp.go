@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/metrics"
+	"repro/internal/progs"
+)
+
+// runExtILP quantifies the paper's motivating claim (section 1): value
+// prediction pushes the ILP upper bound imposed by true register
+// dependences. For each benchmark it measures the idealized dataflow
+// ILP with no prediction, with a stride predictor, with the DFCM, and
+// with a perfect oracle (Lipasti's limit).
+func runExtILP(cfg Config) (*Result, error) {
+	res := &Result{ID: "ext-ilp",
+		Title: "dataflow-limit ILP with value prediction (unit latency, perfect control, register deps only)"}
+	t := &metrics.Table{Headers: []string{
+		"benchmark", "dataflow ILP", "+stride", "+DFCM", "+oracle",
+		"DFCM speedup", "oracle speedup"}}
+
+	var worstSpeedup = 1e9
+	for _, bench := range cfg.benchmarks() {
+		p, err := progs.Program(bench)
+		if err != nil {
+			return nil, err
+		}
+		budget := cfg.budget()
+		const width = 64 // generous fetch bandwidth, the model's only resource limit
+		base, err := ilp.MeasureWidth(p, budget, nil, width)
+		if err != nil {
+			return nil, err
+		}
+		stride, err := ilp.MeasureWidth(p, budget, core.NewStride(16), width)
+		if err != nil {
+			return nil, err
+		}
+		dfcm, err := ilp.MeasureWidth(p, budget, core.NewDFCM(16, 12), width)
+		if err != nil {
+			return nil, err
+		}
+		orc, err := ilp.MeasureWidth(p, budget, ilp.Oracle, width)
+		if err != nil {
+			return nil, err
+		}
+		speedup := dfcm.ILP() / base.ILP()
+		if speedup < worstSpeedup {
+			worstSpeedup = speedup
+		}
+		t.AddRow(bench,
+			fmt.Sprintf("%.2f", base.ILP()),
+			fmt.Sprintf("%.2f", stride.ILP()),
+			fmt.Sprintf("%.2f", dfcm.ILP()),
+			fmt.Sprintf("%.2f", orc.ILP()),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.2fx", orc.ILP()/base.ILP()))
+	}
+	res.Tables = append(res.Tables, t)
+	res.addNote("minimum DFCM ILP speedup over the plain dataflow limit: %.2fx — the paper's introductory premise, quantified (benchmarks whose critical chain is inherently unpredictable, e.g. a PRNG recurrence, gain little; loop- and interpreter-bound ones gain a lot)",
+		worstSpeedup)
+	res.addNote("64-wide fetch is the model's only resource limit; the oracle column is the value-prediction dataflow limit of Lipasti & Shen")
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "ext-ilp",
+		Title:    "value prediction vs the dataflow ILP limit",
+		Artifact: "section 1 motivation, extension",
+		Run:      runExtILP,
+	})
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// runExtPredictability measures, per benchmark, the idealized
+// predictability ceilings (Sazeides & Smith's models with unbounded
+// collision-free tables) and how much of the differential-context
+// ceiling the finite DFCM realizes. It makes the paper's efficiency
+// claim quantitative from the other direction: the gap between a real
+// FCM/DFCM and its oracle is exactly the cost of finite tables and
+// hashing, which the DFCM shrinks.
+func runExtPredictability(cfg Config) (*Result, error) {
+	res := &Result{ID: "ext-predictability",
+		Title: "idealized predictability ceilings vs realized accuracy (order 3)"}
+	t := &metrics.Table{Headers: []string{
+		"benchmark", "constant", "stride", "context", "dcontext",
+		"FCM 2^16/2^12", "DFCM 2^16/2^12", "DFCM/ceiling"}}
+
+	var worstRealized = 1.0
+	var exceeded []string
+	for _, bench := range cfg.benchmarks() {
+		tr, err := traceFor(bench, cfg.budget())
+		if err != nil {
+			return nil, err
+		}
+		p := metrics.MeasurePredictability(trace.NewReader(tr), 3)
+		fcm := core.Run(core.NewFCM(16, 12), trace.NewReader(tr)).Accuracy()
+		dfcm := core.Run(core.NewDFCM(16, 12), trace.NewReader(tr)).Accuracy()
+		ceiling := p.Ceiling()
+		realized := 0.0
+		if ceiling > 0 {
+			realized = dfcm / ceiling
+		}
+		if realized < worstRealized {
+			worstRealized = realized
+		}
+		if realized > 1 {
+			exceeded = append(exceeded, bench)
+		}
+		t.AddRow(bench,
+			metrics.F(p.Constant), metrics.F(p.Stride),
+			metrics.F(p.Context), metrics.F(p.DContext),
+			metrics.F(fcm), metrics.F(dfcm), metrics.F(realized))
+	}
+	res.Tables = append(res.Tables, t)
+	res.addNote("the DFCM realizes at least %.0f%% of each benchmark's best oracle ceiling with 2^12 level-2 entries",
+		100*worstRealized)
+	res.addNote("dcontext >= context on stride-rich benchmarks is the information-theoretic form of the paper's argument: differencing exposes predictability that value contexts hide from finite tables")
+	if len(exceeded) > 0 {
+		res.addNote("%v exceed their per-PC ceiling: the real DFCM sees order-3 strides *plus* the last value (more context than the oracle) and benefits from constructive cross-instruction sharing of level-2 entries (the l2_pc effect of Figure 12), which per-PC oracles cannot model",
+			exceeded)
+	}
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "ext-predictability",
+		Title:    "oracle predictability ceilings per benchmark",
+		Artifact: "Sazeides & Smith models, extension",
+		Run:      runExtPredictability,
+	})
+}

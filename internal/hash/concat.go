@@ -1,0 +1,47 @@
+package hash
+
+import "fmt"
+
+// Concat is the concatenation "hash" used in the paper's worked examples
+// (Figures 4 and 8): the order most recent values are each truncated to
+// n/order bits and concatenated, most recent value in the low bits.
+// It is exact (collision-free) whenever all history values fit in
+// n/order bits, which makes the examples easy to follow, but it wastes
+// index space on real programs — that contrast is the reason folding
+// hashes exist. Construct with NewConcat.
+type Concat struct {
+	n     uint
+	order uint
+	field uint // bits per value
+	mask  uint64
+}
+
+// NewConcat returns a concatenation hash of the given order producing
+// n-bit indices. It panics if order is 0 or exceeds n.
+func NewConcat(n, order uint) *Concat {
+	if n == 0 || n > 64 {
+		panic(fmt.Sprintf("hash: Concat index width %d out of range [1,64]", n))
+	}
+	if order == 0 || order > n {
+		panic(fmt.Sprintf("hash: Concat order %d out of range [1,%d]", order, n))
+	}
+	return &Concat{n: n, order: order, field: n / order, mask: Mask(n)}
+}
+
+// Update shifts the history left by one field and inserts value's low
+// field bits.
+func (c *Concat) Update(h, value uint64) uint64 {
+	return ((h << c.field) | (value & Mask(c.field))) & c.mask
+}
+
+// IndexBits returns n.
+func (c *Concat) IndexBits() uint { return c.n }
+
+// Order returns the number of concatenated values.
+func (c *Concat) Order() int { return int(c.order) }
+
+// FieldBits returns the number of bits kept per value.
+func (c *Concat) FieldBits() uint { return c.field }
+
+// Name returns e.g. "concat-3 (n=12)".
+func (c *Concat) Name() string { return fmt.Sprintf("concat-%d (n=%d)", c.order, c.n) }

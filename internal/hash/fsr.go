@@ -1,0 +1,58 @@
+package hash
+
+import "fmt"
+
+// FSR is the "fold and shift, rotate by k" (FS R-k) hash family of
+// Sazeides and Smith, used by the DFCM paper with k = 5.
+//
+// Conceptually, for a level-2 table with 2^n entries, each value in the
+// history is folded into n bits (Fold), shifted left by k·age bit
+// positions (age 0 = most recent), and the shifted copies are XOR-ed
+// into the final n-bit index. Bits shifted beyond position n-1 are
+// discarded, so a value stops influencing the index once k·age >= n:
+// the effective order is ceil(n/k).
+//
+// The same index is computed incrementally — the representation a real
+// level-1 table would store — as
+//
+//	h' = ((h << k) ^ Fold(v, n)) & (2^n - 1)
+//
+// which is what Update implements. The zero value of FSR is not usable;
+// construct with NewFSR.
+type FSR struct {
+	n    uint
+	k    uint
+	mask uint64
+}
+
+// NewFSR returns the FS R-k hash producing n-bit indices.
+// It panics if n is 0 or greater than 64, or if k is 0.
+func NewFSR(n, k uint) *FSR {
+	if n == 0 || n > 64 {
+		panic(fmt.Sprintf("hash: FSR index width %d out of range [1,64]", n))
+	}
+	if k == 0 {
+		panic("hash: FSR shift k must be positive")
+	}
+	return &FSR{n: n, k: k, mask: Mask(n)}
+}
+
+// NewFSR5 returns the paper's FS R-5 function for n-bit indices.
+func NewFSR5(n uint) *FSR { return NewFSR(n, 5) }
+
+// Update folds value into history h, ageing previous values by k bits.
+func (f *FSR) Update(h, value uint64) uint64 {
+	return ((h << f.k) ^ Fold(value, f.n)) & f.mask
+}
+
+// IndexBits returns n.
+func (f *FSR) IndexBits() uint { return f.n }
+
+// Order returns ceil(n/k), the number of values retained by the hash.
+func (f *FSR) Order() int { return int((f.n + f.k - 1) / f.k) }
+
+// Shift returns k.
+func (f *FSR) Shift() uint { return f.k }
+
+// Name returns e.g. "FS R-5 (n=12)".
+func (f *FSR) Name() string { return fmt.Sprintf("FS R-%d (n=%d)", f.k, f.n) }

@@ -1,0 +1,62 @@
+// Package hash provides the history hashing functions used by two-level
+// context-based value predictors (FCM and DFCM).
+//
+// A context predictor keeps, per static instruction, a compressed history
+// of recently produced values; that history indexes a shared level-2
+// table. The quality of the compression — how uniformly distinct
+// histories spread over level-2 entries — largely determines predictor
+// accuracy. Sazeides and Smith ("Implementations of Context Based Value
+// Predictors", TR ECE97-8) survey such functions; the DFCM paper (Goeman,
+// Vandierendonck, De Bosschere, HPCA 2001) adopts their FS R-5 function,
+// which this package implements along with the rest of the FS R-k family
+// and a concatenation hash used for worked examples.
+package hash
+
+// Func is an incrementally updatable history hash.
+//
+// A Func owns a fixed index width n (bits); histories are values in
+// [0, 2^n). Update folds one more value into an existing history,
+// ageing previous values. Implementations must be pure: the same
+// (history, value) pair always yields the same result, so that a
+// predictor's level-1 table may store hashed histories directly.
+type Func interface {
+	// Update returns the history that results from appending value to
+	// the history h. h must be < 2^IndexBits; the result is too.
+	Update(h uint64, value uint64) uint64
+	// IndexBits returns the width n of produced indices in bits.
+	IndexBits() uint
+	// Order returns the number of most recent values that still
+	// influence the produced index. Older values have aged out.
+	Order() int
+	// Name identifies the function in experiment output.
+	Name() string
+}
+
+// Fold compresses a 64-bit value into n bits by XOR-ing together the
+// ceil(64/n) consecutive n-bit chunks of the value. Fold(v, n) < 2^n.
+// Folding preserves every bit of the input in some output position, so
+// distinct low-entropy values (small integers, small strides) stay
+// distinct as long as they fit in n bits.
+func Fold(v uint64, n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if n >= 64 {
+		return v
+	}
+	mask := (uint64(1) << n) - 1
+	var f uint64
+	for v != 0 {
+		f ^= v & mask
+		v >>= n
+	}
+	return f
+}
+
+// Mask returns the n-bit all-ones mask, 2^n - 1. n must be <= 64.
+func Mask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}

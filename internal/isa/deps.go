@@ -1,0 +1,129 @@
+package isa
+
+// Dataflow dependence metadata, used by the ILP limit study
+// (internal/ilp). Deps is purely static: it reports which registers an
+// instruction reads and writes, derived from the encoding alone.
+
+// Pseudo-register numbers for the multiply/divide unit, so dataflow
+// analyses can track HI/LO dependences uniformly with the 32 general
+// registers.
+const (
+	RegHI = 32
+	RegLO = 33
+	// NumDataflowRegs is the size of a dependence-tracking register
+	// file covering the general registers plus HI and LO.
+	NumDataflowRegs = 34
+)
+
+// Deps describes the register dataflow of one instruction.
+type Deps struct {
+	// Src1, Src2 are read registers, -1 when unused.
+	Src1, Src2 int8
+	// Dest and Dest2 are written registers, -1 when unused. Dest2 is
+	// only used by mult/div (HI and LO).
+	Dest, Dest2 int8
+	// Load and Store mark memory accesses.
+	Load, Store bool
+	// Branch marks control-flow instructions (branches and jumps).
+	Branch bool
+	// Syscall marks system calls (treated as serializing by
+	// consumers that care).
+	Syscall bool
+	// Predictable reports whether the instruction falls under the
+	// paper's value-prediction filter: it produces an integer
+	// register value (loads included) and is not a branch or jump.
+	// mult/div count once (the paper predicts one of the two result
+	// registers).
+	Predictable bool
+}
+
+// DecodeDeps computes the dependence metadata of an instruction word.
+func DecodeDeps(word uint32) Deps {
+	in := Decode(word)
+	d := Deps{Src1: -1, Src2: -1, Dest: -1, Dest2: -1}
+	switch in.Op {
+	case OpSpecial:
+		switch in.Funct {
+		case FnSLL, FnSRL, FnSRA:
+			if word == 0 { // canonical nop
+				return d
+			}
+			d.Src1 = int8(in.Rt)
+			d.Dest = int8(in.Rd)
+		case FnSLLV, FnSRLV, FnSRAV:
+			d.Src1 = int8(in.Rt)
+			d.Src2 = int8(in.Rs)
+			d.Dest = int8(in.Rd)
+		case FnJR:
+			d.Src1 = int8(in.Rs)
+			d.Branch = true
+		case FnJALR:
+			d.Src1 = int8(in.Rs)
+			d.Dest = int8(in.Rd)
+			d.Branch = true
+		case FnSYSCALL:
+			d.Syscall = true
+			d.Src1 = RegV0
+			d.Src2 = RegA0
+			d.Dest = RegV0
+		case FnMFHI:
+			d.Src1 = RegHI
+			d.Dest = int8(in.Rd)
+		case FnMFLO:
+			d.Src1 = RegLO
+			d.Dest = int8(in.Rd)
+		case FnMTHI:
+			d.Src1 = int8(in.Rs)
+			d.Dest = RegHI
+		case FnMTLO:
+			d.Src1 = int8(in.Rs)
+			d.Dest = RegLO
+		case FnMULT, FnMULTU, FnDIV, FnDIVU:
+			d.Src1 = int8(in.Rs)
+			d.Src2 = int8(in.Rt)
+			d.Dest = RegLO
+			d.Dest2 = RegHI
+		default:
+			d.Src1 = int8(in.Rs)
+			d.Src2 = int8(in.Rt)
+			d.Dest = int8(in.Rd)
+		}
+	case OpRegImm:
+		d.Src1 = int8(in.Rs)
+		d.Branch = true
+	case OpJ:
+		d.Branch = true
+	case OpJAL:
+		d.Dest = RegRA
+		d.Branch = true
+	case OpBEQ, OpBNE:
+		d.Src1 = int8(in.Rs)
+		d.Src2 = int8(in.Rt)
+		d.Branch = true
+	case OpBLEZ, OpBGTZ:
+		d.Src1 = int8(in.Rs)
+		d.Branch = true
+	case OpLUI:
+		d.Dest = int8(in.Rt)
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		d.Src1 = int8(in.Rs)
+		d.Dest = int8(in.Rt)
+		d.Load = true
+	case OpSB, OpSH, OpSW:
+		d.Src1 = int8(in.Rs)
+		d.Src2 = int8(in.Rt)
+		d.Store = true
+	default: // I-format ALU: addi(u)/slti(u)/andi/ori/xori
+		d.Src1 = int8(in.Rs)
+		d.Dest = int8(in.Rt)
+	}
+	// Writes to $zero are discarded by the machine.
+	if d.Dest == 0 {
+		d.Dest = -1
+	}
+	// The paper's filter: integer register producers, excluding
+	// branches/jumps (the $ra write of jal/jalr is a jump side
+	// effect) and syscall results.
+	d.Predictable = d.Dest >= 0 && !d.Branch && !d.Syscall
+	return d
+}

@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeDepsAllOps(t *testing.T) {
+	cases := []struct {
+		name string
+		word uint32
+		want Deps
+	}{
+		{"nop", 0, Deps{Src1: -1, Src2: -1, Dest: -1, Dest2: -1}},
+		{"sll", EncodeR(FnSLL, RegT0, 0, RegT1, 3),
+			Deps{Src1: RegT1, Src2: -1, Dest: RegT0, Dest2: -1, Predictable: true}},
+		{"sllv", EncodeR(FnSLLV, RegT0, RegT2, RegT1, 0),
+			Deps{Src1: RegT1, Src2: RegT2, Dest: RegT0, Dest2: -1, Predictable: true}},
+		{"addu", EncodeR(FnADDU, RegT0, RegT1, RegT2, 0),
+			Deps{Src1: RegT1, Src2: RegT2, Dest: RegT0, Dest2: -1, Predictable: true}},
+		{"slt", EncodeR(FnSLT, RegT0, RegT1, RegT2, 0),
+			Deps{Src1: RegT1, Src2: RegT2, Dest: RegT0, Dest2: -1, Predictable: true}},
+		{"jr", EncodeR(FnJR, 0, RegRA, 0, 0),
+			Deps{Src1: RegRA, Src2: -1, Dest: -1, Dest2: -1, Branch: true}},
+		{"jalr", EncodeR(FnJALR, RegRA, RegT0, 0, 0),
+			Deps{Src1: RegT0, Src2: -1, Dest: RegRA, Dest2: -1, Branch: true}},
+		{"syscall", EncodeR(FnSYSCALL, 0, 0, 0, 0),
+			Deps{Src1: RegV0, Src2: RegA0, Dest: RegV0, Dest2: -1, Syscall: true}},
+		{"mfhi", EncodeR(FnMFHI, RegT0, 0, 0, 0),
+			Deps{Src1: RegHI, Src2: -1, Dest: RegT0, Dest2: -1, Predictable: true}},
+		{"mtlo", EncodeR(FnMTLO, 0, RegT0, 0, 0),
+			Deps{Src1: RegT0, Src2: -1, Dest: RegLO, Dest2: -1, Predictable: true}},
+		{"mult", EncodeR(FnMULT, 0, RegT0, RegT1, 0),
+			Deps{Src1: RegT0, Src2: RegT1, Dest: RegLO, Dest2: RegHI, Predictable: true}},
+		{"divu", EncodeR(FnDIVU, 0, RegT0, RegT1, 0),
+			Deps{Src1: RegT0, Src2: RegT1, Dest: RegLO, Dest2: RegHI, Predictable: true}},
+		{"bltz", EncodeI(OpRegImm, RtBLTZ, RegA0, 4),
+			Deps{Src1: RegA0, Src2: -1, Dest: -1, Dest2: -1, Branch: true}},
+		{"j", EncodeJ(OpJ, 4), Deps{Src1: -1, Src2: -1, Dest: -1, Dest2: -1, Branch: true}},
+		{"jal", EncodeJ(OpJAL, 4),
+			Deps{Src1: -1, Src2: -1, Dest: RegRA, Dest2: -1, Branch: true}},
+		{"beq", EncodeI(OpBEQ, RegT1, RegT0, 4),
+			Deps{Src1: RegT0, Src2: RegT1, Dest: -1, Dest2: -1, Branch: true}},
+		{"bgtz", EncodeI(OpBGTZ, 0, RegT0, 4),
+			Deps{Src1: RegT0, Src2: -1, Dest: -1, Dest2: -1, Branch: true}},
+		{"lui", EncodeI(OpLUI, RegT0, 0, 9),
+			Deps{Src1: -1, Src2: -1, Dest: RegT0, Dest2: -1, Predictable: true}},
+		{"lw", EncodeI(OpLW, RegT0, RegSP, 4),
+			Deps{Src1: RegSP, Src2: -1, Dest: RegT0, Dest2: -1, Load: true, Predictable: true}},
+		{"sb", EncodeI(OpSB, RegT0, RegSP, 4),
+			Deps{Src1: RegSP, Src2: RegT0, Dest: -1, Dest2: -1, Store: true}},
+		{"addiu", EncodeI(OpADDIU, RegT0, RegT1, 4),
+			Deps{Src1: RegT1, Src2: -1, Dest: RegT0, Dest2: -1, Predictable: true}},
+		{"addiu to $zero", EncodeI(OpADDIU, RegZero, RegT1, 4),
+			Deps{Src1: RegT1, Src2: -1, Dest: -1, Dest2: -1}},
+		{"andi", EncodeI(OpANDI, RegT0, RegT1, 4),
+			Deps{Src1: RegT1, Src2: -1, Dest: RegT0, Dest2: -1, Predictable: true}},
+	}
+	for _, c := range cases {
+		if got := DecodeDeps(c.word); got != c.want {
+			t.Errorf("%s: DecodeDeps = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDecodeDepsInvariants(t *testing.T) {
+	prop := func(word uint32) bool {
+		d := DecodeDeps(word)
+		// Registers are always in range or -1.
+		for _, r := range []int8{d.Src1, d.Src2, d.Dest, d.Dest2} {
+			if r < -1 || int(r) >= NumDataflowRegs {
+				return false
+			}
+		}
+		// Predictable implies a register result and no control flow.
+		if d.Predictable && (d.Dest < 0 || d.Branch || d.Syscall) {
+			return false
+		}
+		// $zero is never a destination.
+		if d.Dest == 0 || d.Dest2 == 0 {
+			return false
+		}
+		// Dest2 only appears together with Dest (mult/div).
+		if d.Dest2 >= 0 && d.Dest < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders one instruction word at the given address as
+// assembler syntax. Branch and jump targets are printed as absolute
+// hexadecimal addresses. Unknown encodings render as ".word 0x...".
+func Disassemble(pc, word uint32) string {
+	in := Decode(word)
+	r := func(n int) string { return "$" + RegNames[n] }
+	switch in.Op {
+	case OpSpecial:
+		switch in.Funct {
+		case FnSLL:
+			if word == 0 {
+				return "nop"
+			}
+			return fmt.Sprintf("sll %s, %s, %d", r(in.Rd), r(in.Rt), in.Shamt)
+		case FnSRL:
+			return fmt.Sprintf("srl %s, %s, %d", r(in.Rd), r(in.Rt), in.Shamt)
+		case FnSRA:
+			return fmt.Sprintf("sra %s, %s, %d", r(in.Rd), r(in.Rt), in.Shamt)
+		case FnSLLV:
+			return fmt.Sprintf("sllv %s, %s, %s", r(in.Rd), r(in.Rt), r(in.Rs))
+		case FnSRLV:
+			return fmt.Sprintf("srlv %s, %s, %s", r(in.Rd), r(in.Rt), r(in.Rs))
+		case FnSRAV:
+			return fmt.Sprintf("srav %s, %s, %s", r(in.Rd), r(in.Rt), r(in.Rs))
+		case FnJR:
+			return fmt.Sprintf("jr %s", r(in.Rs))
+		case FnJALR:
+			return fmt.Sprintf("jalr %s", r(in.Rs))
+		case FnSYSCALL:
+			return "syscall"
+		case FnMFHI:
+			return fmt.Sprintf("mfhi %s", r(in.Rd))
+		case FnMFLO:
+			return fmt.Sprintf("mflo %s", r(in.Rd))
+		case FnMTHI:
+			return fmt.Sprintf("mthi %s", r(in.Rs))
+		case FnMTLO:
+			return fmt.Sprintf("mtlo %s", r(in.Rs))
+		case FnMULT:
+			return fmt.Sprintf("mult %s, %s", r(in.Rs), r(in.Rt))
+		case FnMULTU:
+			return fmt.Sprintf("multu %s, %s", r(in.Rs), r(in.Rt))
+		case FnDIV:
+			return fmt.Sprintf("div2 %s, %s", r(in.Rs), r(in.Rt))
+		case FnDIVU:
+			return fmt.Sprintf("divu %s, %s", r(in.Rs), r(in.Rt))
+		}
+		threeReg := map[uint32]string{
+			FnADD: "add", FnADDU: "addu", FnSUB: "sub", FnSUBU: "subu",
+			FnAND: "and", FnOR: "or", FnXOR: "xor", FnNOR: "nor",
+			FnSLT: "slt", FnSLTU: "sltu",
+		}
+		if m, ok := threeReg[in.Funct]; ok {
+			return fmt.Sprintf("%s %s, %s, %s", m, r(in.Rd), r(in.Rs), r(in.Rt))
+		}
+
+	case OpRegImm:
+		target := pc + 4 + in.SImm()<<2
+		switch in.Rt {
+		case RtBLTZ:
+			return fmt.Sprintf("bltz %s, 0x%x", r(in.Rs), target)
+		case RtBGEZ:
+			return fmt.Sprintf("bgez %s, 0x%x", r(in.Rs), target)
+		}
+
+	case OpJ:
+		return fmt.Sprintf("j 0x%x", pc&0xf0000000|in.Target<<2)
+	case OpJAL:
+		return fmt.Sprintf("jal 0x%x", pc&0xf0000000|in.Target<<2)
+
+	case OpBEQ, OpBNE:
+		m := "beq"
+		if in.Op == OpBNE {
+			m = "bne"
+		}
+		return fmt.Sprintf("%s %s, %s, 0x%x", m, r(in.Rs), r(in.Rt), pc+4+in.SImm()<<2)
+	case OpBLEZ:
+		return fmt.Sprintf("blez %s, 0x%x", r(in.Rs), pc+4+in.SImm()<<2)
+	case OpBGTZ:
+		return fmt.Sprintf("bgtz %s, 0x%x", r(in.Rs), pc+4+in.SImm()<<2)
+
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU:
+		m := map[uint32]string{OpADDI: "addi", OpADDIU: "addiu",
+			OpSLTI: "slti", OpSLTIU: "sltiu"}[in.Op]
+		return fmt.Sprintf("%s %s, %s, %d", m, r(in.Rt), r(in.Rs), int32(in.SImm()))
+	case OpANDI, OpORI, OpXORI:
+		m := map[uint32]string{OpANDI: "andi", OpORI: "ori", OpXORI: "xori"}[in.Op]
+		return fmt.Sprintf("%s %s, %s, 0x%x", m, r(in.Rt), r(in.Rs), in.Imm)
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", r(in.Rt), in.Imm)
+
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW:
+		m := map[uint32]string{OpLB: "lb", OpLH: "lh", OpLW: "lw",
+			OpLBU: "lbu", OpLHU: "lhu", OpSB: "sb", OpSH: "sh", OpSW: "sw"}[in.Op]
+		return fmt.Sprintf("%s %s, %d(%s)", m, r(in.Rt), int32(in.SImm()), r(in.Rs))
+	}
+	return fmt.Sprintf(".word 0x%08x", word)
+}

@@ -1,0 +1,207 @@
+// Package isa defines MR32, the 32-bit RISC instruction set executed
+// by this repository's functional simulator (internal/vm) and produced
+// by its assembler (internal/asm).
+//
+// MR32 stands in for the MIPS (PISA) target that the paper's
+// SimpleScalar 2.0 toolchain simulates: a classic load/store ISA with
+// 32 general registers, HI/LO multiply/divide registers, MIPS-I-style
+// fixed 32-bit encodings and the usual three formats (R, I, J). Two
+// deliberate simplifications, documented here and in DESIGN.md, do not
+// affect value-prediction behaviour: there are no branch delay slots,
+// and there is no floating point (the paper predicts only integer
+// register values and evaluates only SPECint).
+package isa
+
+import "fmt"
+
+// Register numbers and their conventional (MIPS o32) names.
+const (
+	RegZero = 0 // hardwired zero
+	RegAT   = 1 // assembler temporary
+	RegV0   = 2 // results / syscall numbers
+	RegV1   = 3
+	RegA0   = 4 // arguments
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegT0   = 8 // caller-saved temporaries
+	RegT1   = 9
+	RegT2   = 10
+	RegT3   = 11
+	RegT4   = 12
+	RegT5   = 13
+	RegT6   = 14
+	RegT7   = 15
+	RegS0   = 16 // callee-saved
+	RegS1   = 17
+	RegS2   = 18
+	RegS3   = 19
+	RegS4   = 20
+	RegS5   = 21
+	RegS6   = 22
+	RegS7   = 23
+	RegT8   = 24
+	RegT9   = 25
+	RegK0   = 26
+	RegK1   = 27
+	RegGP   = 28 // global pointer
+	RegSP   = 29 // stack pointer
+	RegFP   = 30 // frame pointer
+	RegRA   = 31 // return address
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 32
+
+// RegNames maps register numbers to their conventional names
+// (without the leading '$').
+var RegNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegByName resolves a register name (without '$'), either symbolic
+// ("t0") or numeric ("8"), to its number.
+func RegByName(name string) (int, bool) {
+	for i, n := range RegNames {
+		if n == name {
+			return i, true
+		}
+	}
+	var r int
+	if _, err := fmt.Sscanf(name, "%d", &r); err == nil && r >= 0 && r < NumRegs {
+		return r, true
+	}
+	return 0, false
+}
+
+// Opcode field values (bits 31:26).
+const (
+	OpSpecial = 0x00 // R-type; operation selected by the funct field
+	OpRegImm  = 0x01 // bltz/bgez; selected by the rt field
+	OpJ       = 0x02
+	OpJAL     = 0x03
+	OpBEQ     = 0x04
+	OpBNE     = 0x05
+	OpBLEZ    = 0x06
+	OpBGTZ    = 0x07
+	OpADDI    = 0x08
+	OpADDIU   = 0x09
+	OpSLTI    = 0x0a
+	OpSLTIU   = 0x0b
+	OpANDI    = 0x0c
+	OpORI     = 0x0d
+	OpXORI    = 0x0e
+	OpLUI     = 0x0f
+	OpLB      = 0x20
+	OpLH      = 0x21
+	OpLW      = 0x23
+	OpLBU     = 0x24
+	OpLHU     = 0x25
+	OpSB      = 0x28
+	OpSH      = 0x29
+	OpSW      = 0x2b
+)
+
+// Funct field values for OpSpecial (bits 5:0).
+const (
+	FnSLL     = 0x00
+	FnSRL     = 0x02
+	FnSRA     = 0x03
+	FnSLLV    = 0x04
+	FnSRLV    = 0x06
+	FnSRAV    = 0x07
+	FnJR      = 0x08
+	FnJALR    = 0x09
+	FnSYSCALL = 0x0c
+	FnMFHI    = 0x10
+	FnMTHI    = 0x11
+	FnMFLO    = 0x12
+	FnMTLO    = 0x13
+	FnMULT    = 0x18
+	FnMULTU   = 0x19
+	FnDIV     = 0x1a
+	FnDIVU    = 0x1b
+	FnADD     = 0x20
+	FnADDU    = 0x21
+	FnSUB     = 0x22
+	FnSUBU    = 0x23
+	FnAND     = 0x24
+	FnOR      = 0x25
+	FnXOR     = 0x26
+	FnNOR     = 0x27
+	FnSLT     = 0x2a
+	FnSLTU    = 0x2b
+)
+
+// rt field values for OpRegImm.
+const (
+	RtBLTZ = 0x00
+	RtBGEZ = 0x01
+)
+
+// Inst is a decoded MR32 instruction. Fields mirror the encoding; not
+// all fields are meaningful for every format.
+type Inst struct {
+	Op     uint32 // bits 31:26
+	Rs     int    // bits 25:21
+	Rt     int    // bits 20:16
+	Rd     int    // bits 15:11
+	Shamt  uint32 // bits 10:6
+	Funct  uint32 // bits 5:0
+	Imm    uint32 // bits 15:0 (use SImm for sign-extension)
+	Target uint32 // bits 25:0 (J format)
+}
+
+// SImm returns the I-format immediate sign-extended to 32 bits.
+func (in Inst) SImm() uint32 { return uint32(int32(int16(in.Imm))) }
+
+// Decode splits a raw instruction word into its fields.
+func Decode(word uint32) Inst {
+	return Inst{
+		Op:     word >> 26,
+		Rs:     int(word >> 21 & 0x1f),
+		Rt:     int(word >> 16 & 0x1f),
+		Rd:     int(word >> 11 & 0x1f),
+		Shamt:  word >> 6 & 0x1f,
+		Funct:  word & 0x3f,
+		Imm:    word & 0xffff,
+		Target: word & 0x3ffffff,
+	}
+}
+
+// EncodeR builds an R-format word.
+func EncodeR(funct uint32, rd, rs, rt int, shamt uint32) uint32 {
+	return uint32(rs&0x1f)<<21 | uint32(rt&0x1f)<<16 | uint32(rd&0x1f)<<11 |
+		(shamt&0x1f)<<6 | funct&0x3f
+}
+
+// EncodeI builds an I-format word.
+func EncodeI(op uint32, rt, rs int, imm uint32) uint32 {
+	return op<<26 | uint32(rs&0x1f)<<21 | uint32(rt&0x1f)<<16 | imm&0xffff
+}
+
+// EncodeJ builds a J-format word.
+func EncodeJ(op uint32, target uint32) uint32 {
+	return op<<26 | target&0x3ffffff
+}
+
+// Standard memory layout (addresses chosen to match the MIPS
+// conventions SimpleScalar also uses).
+const (
+	TextBase  = 0x00400000 // program text
+	DataBase  = 0x10000000 // static data; heap grows upward after it
+	StackBase = 0x7ffff000 // initial stack pointer; stack grows down
+)
+
+// Syscall numbers (passed in $v0), a subset of the SPIM/SimpleScalar
+// convention.
+const (
+	SysPrintInt = 1  // print $a0 as a signed decimal
+	SysPrintStr = 4  // print the NUL-terminated string at $a0
+	SysSbrk     = 9  // grow the heap by $a0 bytes; old break in $v0
+	SysExit     = 10 // terminate the program
+	SysPutChar  = 11 // print the low byte of $a0
+)

@@ -1,0 +1,124 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeFieldsQuick(t *testing.T) {
+	// Decode must slice the word into non-overlapping fields whose
+	// recombination reproduces the word.
+	prop := func(w uint32) bool {
+		in := Decode(w)
+		rebuilt := in.Op<<26 | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 |
+			uint32(in.Rd)<<11 | in.Shamt<<6 | in.Funct
+		return rebuilt == w &&
+			in.Imm == w&0xffff &&
+			in.Target == w&0x3ffffff
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRDecodeRoundTripQuick(t *testing.T) {
+	prop := func(funct uint32, rd, rs, rt uint8, shamt uint32) bool {
+		f, d, s, tt, sh := funct&0x3f, int(rd&0x1f), int(rs&0x1f), int(rt&0x1f), shamt&0x1f
+		in := Decode(EncodeR(f, d, s, tt, sh))
+		return in.Op == OpSpecial && in.Funct == f && in.Rd == d &&
+			in.Rs == s && in.Rt == tt && in.Shamt == sh
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeIDecodeRoundTripQuick(t *testing.T) {
+	prop := func(rt, rs uint8, imm uint16) bool {
+		in := Decode(EncodeI(OpADDIU, int(rt&0x1f), int(rs&0x1f), uint32(imm)))
+		return in.Op == OpADDIU && in.Rt == int(rt&0x1f) &&
+			in.Rs == int(rs&0x1f) && in.Imm == uint32(imm)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSImmSignExtension(t *testing.T) {
+	cases := map[uint32]uint32{
+		0x0000: 0,
+		0x7fff: 0x7fff,
+		0x8000: 0xffff8000,
+		0xffff: 0xffffffff,
+	}
+	for imm, want := range cases {
+		in := Inst{Imm: imm}
+		if got := in.SImm(); got != want {
+			t.Errorf("SImm(%#x) = %#x, want %#x", imm, got, want)
+		}
+	}
+}
+
+func TestRegNamesBijective(t *testing.T) {
+	seen := map[string]bool{}
+	for i, n := range RegNames {
+		if n == "" || seen[n] {
+			t.Fatalf("register name %d (%q) empty or duplicated", i, n)
+		}
+		seen[n] = true
+		got, ok := RegByName(n)
+		if !ok || got != i {
+			t.Errorf("RegByName(%q) = %d,%v", n, got, ok)
+		}
+	}
+}
+
+func TestDisassembleKnownForms(t *testing.T) {
+	cases := []struct {
+		word uint32
+		pc   uint32
+		want string
+	}{
+		{0, 0x400000, "nop"},
+		{EncodeR(FnADDU, RegT0, RegT1, RegT2, 0), 0, "addu $t0, $t1, $t2"},
+		{EncodeR(FnSLL, RegT0, 0, RegT1, 4), 0, "sll $t0, $t1, 4"},
+		{EncodeR(FnJR, 0, RegRA, 0, 0), 0, "jr $ra"},
+		{EncodeR(FnSYSCALL, 0, 0, 0, 0), 0, "syscall"},
+		{EncodeR(FnMFLO, RegV0, 0, 0, 0), 0, "mflo $v0"},
+		{EncodeR(FnMULT, 0, RegT0, RegT1, 0), 0, "mult $t0, $t1"},
+		{EncodeI(OpADDIU, RegT0, RegZero, 0xfffb), 0, "addiu $t0, $zero, -5"},
+		{EncodeI(OpORI, RegT0, RegT0, 0xbeef), 0, "ori $t0, $t0, 0xbeef"},
+		{EncodeI(OpLUI, RegAT, 0, 0x1000), 0, "lui $at, 0x1000"},
+		{EncodeI(OpLW, RegT3, RegSP, 8), 0, "lw $t3, 8($sp)"},
+		{EncodeI(OpSW, RegT3, RegGP, 0xfffc), 0, "sw $t3, -4($gp)"},
+		{EncodeI(OpBEQ, RegT1, RegT0, 0xffff), 0x400010, "beq $t0, $t1, 0x400010"},
+		{EncodeI(OpRegImm, RtBGEZ, RegA0, 2), 0x100, "bgez $a0, 0x10c"},
+		{EncodeJ(OpJAL, 0x100005), 0x400000, "jal 0x400014"},
+		{0xffffffff, 0, ".word 0xffffffff"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.pc, c.word); got != c.want {
+			t.Errorf("Disassemble(%#x, %#x) = %q, want %q", c.pc, c.word, got, c.want)
+		}
+	}
+}
+
+func TestDisassembleNeverEmpty(t *testing.T) {
+	prop := func(w, pc uint32) bool {
+		s := Disassemble(pc&^3, w)
+		return s != "" && !strings.Contains(s, "%!")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryLayoutSane(t *testing.T) {
+	if TextBase >= DataBase || DataBase >= StackBase {
+		t.Error("segments out of order")
+	}
+	if TextBase%4 != 0 || DataBase%4 != 0 || StackBase%4 != 0 {
+		t.Error("segment bases misaligned")
+	}
+}

@@ -1,0 +1,153 @@
+// Package metrics provides the measurement and reporting
+// infrastructure shared by the experiments: weighted accuracy
+// aggregation across benchmarks (the paper's reporting convention),
+// Pareto fronts over (size, accuracy) points (Figure 11(b)), the
+// stride-access histograms of Figures 6 and 9, and plain-text table
+// rendering for the CLI and EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// BenchResult is one benchmark's outcome under one predictor
+// configuration.
+type BenchResult struct {
+	Benchmark string
+	Result    core.Result
+}
+
+// WeightedMean returns the arithmetic mean of per-benchmark
+// accuracies weighted by the number of predicted instructions — the
+// paper's summary statistic ("the arithmetic mean over all SPECint
+// benchmarks, weighted by the number of predicted instructions").
+// Weighting by predictions makes the mean equal to total correct over
+// total predictions.
+func WeightedMean(results []BenchResult) float64 {
+	var total core.Result
+	for _, r := range results {
+		total.Add(r.Result)
+	}
+	return total.Accuracy()
+}
+
+// Point is one predictor configuration plotted as size versus
+// accuracy.
+type Point struct {
+	Name     string
+	SizeBits int64
+	Accuracy float64
+}
+
+// SizeKbit returns the point's size in Kbit (the paper's axis unit).
+func (p Point) SizeKbit() float64 { return float64(p.SizeBits) / 1024 }
+
+// Pareto returns the subset of points that are not dominated: a point
+// survives if no other point has size <= its size and accuracy >= its
+// accuracy (with at least one strict). The result is sorted by size.
+// This is the construction of the paper's Figure 11(b).
+func Pareto(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].SizeBits != sorted[j].SizeBits {
+			return sorted[i].SizeBits < sorted[j].SizeBits
+		}
+		return sorted[i].Accuracy > sorted[j].Accuracy
+	})
+	var front []Point
+	best := -1.0
+	for _, p := range sorted {
+		if p.Accuracy > best {
+			front = append(front, p)
+			best = p.Accuracy
+		}
+	}
+	return front
+}
+
+// Table is a simple rectangular table with a title, rendered
+// monospace for terminal output and EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table
+// (title as a bold caption line when present).
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (headers first).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// F formats an accuracy or fraction with 3 decimals.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Kbit formats a bit count in Kbit with one decimal.
+func Kbit(bits int64) string { return fmt.Sprintf("%.1f", float64(bits)/1024) }

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders multi-series scatter/line data as an ASCII chart, so
+// the experiment harness can regenerate the paper's *figures* (not
+// just their underlying tables) in a terminal. X axes may be linear
+// or logarithmic (the paper plots predictor size on a log axis).
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX plots x on a log10 axis (all x must be > 0).
+	LogX bool
+	// Width and Height are the plot area in characters; zero values
+	// select 72x20.
+	Width, Height int
+
+	series []series
+}
+
+type series struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// seriesMarkers are assigned to series in order.
+const seriesMarkers = "*o+x#@%&"
+
+// AddSeries appends a named series of (x, y) points. Points need not
+// be sorted. Panics if xs and ys differ in length.
+func (p *Plot) AddSeries(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("metrics: series length mismatch")
+	}
+	marker := seriesMarkers[len(p.series)%len(seriesMarkers)]
+	p.series = append(p.series, series{
+		name: name, marker: marker,
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	})
+}
+
+// AddPoints appends a series from Point values (size vs accuracy).
+func (p *Plot) AddPoints(name string, pts []Point) {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, pt := range pts {
+		xs[i] = pt.SizeKbit()
+		ys[i] = pt.Accuracy
+	}
+	p.AddSeries(name, xs, ys)
+}
+
+func (p *Plot) dims() (w, h int) {
+	w, h = p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	w, h := p.dims()
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if p.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	empty := true
+	for _, s := range p.series {
+		for i := range s.xs {
+			empty = false
+			x, y := tx(s.xs[i]), s.ys[i]
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var sb strings.Builder
+	if p.Title != "" {
+		sb.WriteString(p.Title)
+		sb.WriteByte('\n')
+	}
+	if empty {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly so extremes are visible.
+	pad := (ymax - ymin) * 0.05
+	ymin, ymax = ymin-pad, ymax+pad
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = bytes(' ', w)
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			col := int(math.Round((tx(s.xs[i]) - xmin) / (xmax - xmin) * float64(w-1)))
+			row := int(math.Round((ymax - s.ys[i]) / (ymax - ymin) * float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				if grid[row][col] == ' ' || grid[row][col] == s.marker {
+					grid[row][col] = s.marker
+				} else {
+					grid[row][col] = '?' // collision of different series
+				}
+			}
+		}
+	}
+
+	yAxisW := 7
+	for r, line := range grid {
+		frac := float64(r) / float64(h-1)
+		yval := ymax - frac*(ymax-ymin)
+		fmt.Fprintf(&sb, "%*.3f |%s\n", yAxisW, yval, strings.TrimRight(string(line), " "))
+	}
+	sb.WriteString(strings.Repeat(" ", yAxisW+1))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteByte('\n')
+	// X tick labels: left, middle, right.
+	left, mid, right := p.untx(xmin), p.untx((xmin+xmax)/2), p.untx(xmax)
+	ticks := fmt.Sprintf("%-*s%*s", w/2, formatTick(left), w-w/2, formatTick(right))
+	midPos := yAxisW + 2 + w/2 - len(formatTick(mid))/2
+	sb.WriteString(strings.Repeat(" ", yAxisW+2))
+	sb.WriteString(ticks)
+	sb.WriteByte('\n')
+	_ = midPos
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "        x: %s", p.XLabel)
+		if p.LogX {
+			sb.WriteString(" (log scale)")
+		}
+		if p.YLabel != "" {
+			fmt.Fprintf(&sb, "   y: %s", p.YLabel)
+		}
+		sb.WriteByte('\n')
+	}
+	// Legend.
+	names := make([]string, len(p.series))
+	for i, s := range p.series {
+		names[i] = fmt.Sprintf("%c %s", s.marker, s.name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&sb, "        legend: %s\n", strings.Join(names, "   "))
+	return sb.String()
+}
+
+func (p *Plot) untx(x float64) float64 {
+	if p.LogX {
+		return math.Pow(10, x)
+	}
+	return x
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	case math.Abs(v) >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func bytes(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// StrideHist measures how the level-2 table of a two-level predictor
+// is occupied by stride patterns, reproducing the instrumentation of
+// the paper's Figures 6 and 9: a side stride predictor acts as the
+// oracle for "this value is part of a stride pattern" ("we used the
+// simple indication that a value is part of a stride pattern if a
+// stride predictor can correctly predict it"); every time the
+// two-level predictor is consulted for such a value, the counter of
+// the level-2 entry it accesses is incremented.
+type StrideHist struct {
+	counts []uint64
+	oracle *core.Stride
+}
+
+// NewStrideHist creates the instrumentation for a predictor with the
+// given number of level-2 entries, using a stride-predictor oracle
+// with 2^oracleBits entries (the paper uses 64K).
+func NewStrideHist(l2Entries int, oracleBits uint) *StrideHist {
+	return &StrideHist{
+		counts: make([]uint64, l2Entries),
+		oracle: core.NewStride(oracleBits),
+	}
+}
+
+// Observe processes one event: if the oracle stride predictor gets it
+// right, the level-2 entry the predictor would access is charged.
+// The caller remains responsible for updating the predictor itself;
+// Observe updates only the oracle.
+func (h *StrideHist) Observe(p core.L2Indexer, e trace.Event) {
+	if h.oracle.Predict(e.PC) == e.Value {
+		h.counts[p.L2Index(e.PC)]++
+	}
+	h.oracle.Update(e.PC, e.Value)
+}
+
+// Run drives predictor p over the whole trace with instrumentation
+// and returns the sorted histogram. p must implement core.Predictor
+// to be updated.
+func (h *StrideHist) Run(p core.Predictor, src trace.Source) Histogram {
+	idx, ok := p.(core.L2Indexer)
+	if !ok {
+		panic("metrics: predictor does not expose its level-2 index")
+	}
+	for {
+		e, more := src.Next()
+		if !more {
+			break
+		}
+		h.Observe(idx, e)
+		p.Predict(e.PC) // keep prediction path exercised
+		p.Update(e.PC, e.Value)
+	}
+	return h.Histogram()
+}
+
+// Histogram returns the per-entry stride-access counts sorted in
+// descending order (the paper's x axis: "l2-entry (sorted)").
+func (h *StrideHist) Histogram() Histogram {
+	out := append([]uint64(nil), h.counts...)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// Histogram is a descending-sorted count-per-entry vector.
+type Histogram []uint64
+
+// EntriesOver returns how many entries have a count above the
+// threshold (e.g. "more than 100 entries are accessed more than 100
+// times").
+func (g Histogram) EntriesOver(threshold uint64) int {
+	// counts are sorted descending; binary search the boundary.
+	lo, hi := 0, len(g)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g[mid] > threshold {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Total returns the total number of stride-pattern accesses.
+func (g Histogram) Total() uint64 {
+	var s uint64
+	for _, c := range g {
+		s += c
+	}
+	return s
+}
+
+// Sample returns (index, count) pairs at logarithmically spaced ranks,
+// a compact representation of the sorted curve for reports.
+func (g Histogram) Sample() [][2]uint64 {
+	var out [][2]uint64
+	step := 1
+	for i := 0; i < len(g); i += step {
+		out = append(out, [2]uint64{uint64(i), g[i]})
+		if i >= 10*step {
+			step *= 10
+		}
+	}
+	if len(g) > 0 {
+		out = append(out, [2]uint64{uint64(len(g) - 1), g[len(g)-1]})
+	}
+	return out
+}

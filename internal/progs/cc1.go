@@ -1,0 +1,174 @@
+package progs
+
+// cc1 stands in for SPECint95 126.gcc (cc1). Its kernel is a
+// lexer/evaluator: it scans a buffer of generated expression text
+// byte by byte, classifying characters (digit / variable / operator /
+// terminator) with compare chains, looking variables up in a symbol
+// table and folding constants left to right. Character classification
+// produces near-constant patterns (like the paper's slt example),
+// scanning produces unit strides, and symbol-table traffic produces
+// context patterns.
+//
+// The text is organized as 256 eight-byte expressions:
+// operand op operand op operand op operand ';'.
+const cc1Src = `
+# cc1: expression lexer + constant folder over generated text.
+	.data
+text:	.space 2048                  # 256 expressions x 8 bytes
+symtab:	.space 104                   # 26 variables
+ops:	.ascii "+-*&"
+
+	.text
+main:
+	li   $s0, 521288629              # PRNG state
+
+	# Seed the symbol table.
+	li   $t0, 0
+	li   $t8, 26
+sfill:
+` + xorshift + `
+	andi $t1, $s0, 0x3f
+	sll  $t2, $t0, 2
+	sw   $t1, symtab($t2)
+	addiu $t0, $t0, 1
+	bne  $t0, $t8, sfill
+
+	# Generate all 256 expressions.
+	li   $s1, 0                      # expression index
+genall:
+	jal  genexpr
+	addiu $s1, $s1, 1
+	li   $t8, 256
+	bne  $s1, $t8, genall
+
+	li   $s6, 0                      # running total
+	li   $s7, 0                      # expression counter
+outer:
+	# --- evaluate the whole buffer ---
+	li   $s2, 0                      # byte position
+	li   $s3, 0                      # accumulator
+	li   $s4, 0                      # pending operator char (0 = none)
+scan:
+	lbu  $t0, text($s2)
+	# classify: digit?
+	li   $t1, '0'
+	blt  $t0, $t1, notdigit
+	li   $t1, '9'
+	bgt  $t0, $t1, notdigit
+	addiu $t2, $t0, -48              # val = c - '0'
+	b    operand
+notdigit:
+	# variable a-z?
+	li   $t1, 'a'
+	blt  $t0, $t1, notvar
+	li   $t1, 'z'
+	bgt  $t0, $t1, notvar
+	addiu $t2, $t0, -97
+	sll  $t2, $t2, 2
+	lw   $t2, symtab($t2)            # val = symtab[c-'a']
+	b    operand
+notvar:
+	li   $t1, ';'
+	beq  $t0, $t1, endexpr
+	move $s4, $t0                    # an operator: remember it
+	b    next
+operand:
+	beqz $s4, firstop
+	li   $t1, '+'
+	bne  $s4, $t1, try_sub
+	addu $s3, $s3, $t2
+	b    opdone
+try_sub:
+	li   $t1, '-'
+	bne  $s4, $t1, try_mul
+	subu $s3, $s3, $t2
+	b    opdone
+try_mul:
+	li   $t1, '*'
+	bne  $s4, $t1, try_and
+	mul  $s3, $s3, $t2
+	b    opdone
+try_and:
+	and  $s3, $s3, $t2
+opdone:
+	li   $s4, 0
+	b    next
+firstop:
+	move $s3, $t2
+	b    next
+endexpr:
+	addu $s6, $s6, $s3               # total += acc
+	# writeback: symtab[count % 26] = acc
+	li   $t3, 26
+	rem  $t4, $s7, $t3
+	sll  $t4, $t4, 2
+	sw   $s3, symtab($t4)
+	addiu $s7, $s7, 1
+	li   $s3, 0
+	li   $s4, 0
+next:
+	addiu $s2, $s2, 1
+	li   $t5, 2048
+	bne  $s2, $t5, scan
+
+	# --- regenerate 16 random expressions, repeat ---
+	li   $s5, 0
+regen:
+` + xorshift + `
+	srl  $s1, $s0, 16
+	andi $s1, $s1, 255
+	jal  genexpr
+	addiu $s5, $s5, 1
+	li   $t8, 16
+	bne  $s5, $t8, regen
+	b    outer
+
+# genexpr writes expression $s1 (8 bytes at text + $s1*8).
+# Clobbers $t0..$t9. PRNG in $s0.
+genexpr:
+	sll  $t4, $s1, 3                 # base offset
+	li   $t5, 0                      # token slot 0,2,4,6
+gtok:
+` + xorshift + `
+	andi $t0, $s0, 3
+	beqz $t0, gvar                   # 25%: variable operand
+	srl  $t1, $s0, 4
+	li   $t6, 10
+	rem  $t1, $t1, $t6
+	addiu $t1, $t1, '0'
+	b    gput
+gvar:
+	srl  $t1, $s0, 4
+	li   $t6, 26
+	rem  $t1, $t1, $t6
+	addiu $t1, $t1, 'a'
+gput:
+	addu $t2, $t4, $t5
+	sb   $t1, text($t2)
+	li   $t6, 6
+	beq  $t5, $t6, glast
+	# operator in the odd slot
+` + xorshift + `
+	andi $t0, $s0, 3
+	lbu  $t1, ops($t0)
+	addu $t2, $t4, $t5
+	addiu $t2, $t2, 1
+	sb   $t1, text($t2)
+	addiu $t5, $t5, 2
+	b    gtok
+glast:
+	li   $t1, ';'
+	addu $t2, $t4, $t5
+	addiu $t2, $t2, 1
+	sb   $t1, text($t2)
+	jr   $ra
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "cc1",
+		Model:       "SPECint95 126.gcc",
+		Description: "expression lexing and constant folding over generated source text",
+		Source:      cc1Src,
+	})
+}

@@ -1,0 +1,113 @@
+package progs
+
+// compress stands in for SPECint95 129.compress (LZW compression).
+// Behavioural ingredients: byte-granular scans with unit strides, run
+// detection with data-dependent compare results, a rolling hash, and
+// hash-table probes whose hit/miss outcomes depend on the data — a
+// mix of stride and hard-to-predict patterns. The program fills a
+// 4 KiB buffer from a skewed 8-symbol alphabet (to create runs),
+// RLE-compresses it, then LZ-style scans it with a rolling hash and a
+// 256-entry match table, mutates the buffer, and repeats.
+const compressSrc = `
+# compress: RLE + rolling-hash match scan over pseudo-text.
+	.data
+buf:	.space 4096
+out:	.space 8192
+htab:	.space 1024               # 256 match-table entries
+
+	.text
+main:
+	li   $s0, 88172645            # PRNG state
+	la   $s1, buf
+	la   $s2, out
+
+	# Fill buf with a skewed 8-letter alphabet.
+	li   $t0, 0
+	li   $t8, 4096
+fill:
+` + xorshift + `
+	andi $t2, $s0, 0x7
+	addiu $t2, $t2, 'a'
+	addu $t3, $s1, $t0
+	sb   $t2, 0($t3)
+	addiu $t0, $t0, 1
+	bne  $t0, $t8, fill
+
+outer:
+	# --- pass 1: run-length encode buf into out ---
+	li   $s3, 0                   # input index
+	li   $s4, 0                   # output index
+rle:
+	addu $t0, $s1, $s3
+	lbu  $t1, 0($t0)              # current byte
+	li   $t2, 1                   # run length
+run:
+	addu $t3, $s3, $t2
+	li   $t4, 4096
+	bge  $t3, $t4, runend
+	addu $t5, $s1, $t3
+	lbu  $t6, 0($t5)
+	bne  $t6, $t1, runend
+	addiu $t2, $t2, 1
+	li   $t7, 255
+	blt  $t2, $t7, run
+runend:
+	addu $t5, $s2, $s4
+	sb   $t1, 0($t5)
+	sb   $t2, 1($t5)
+	addiu $s4, $s4, 2
+	addu $s3, $s3, $t2
+	li   $t4, 4096
+	blt  $s3, $t4, rle
+
+	# --- pass 2: rolling hash + match table probes ---
+	li   $s3, 0                   # index
+	li   $s5, 0                   # hash
+	li   $s6, 0                   # match count
+	la   $s7, htab
+hscan:
+	addu $t0, $s1, $s3
+	lbu  $t1, 0($t0)
+	sll  $t2, $s5, 3              # hash = (hash<<3 ^ byte) & 0xff
+	xor  $t2, $t2, $t1
+	andi $s5, $t2, 0xff
+	sll  $t3, $s5, 2
+	addu $t3, $s7, $t3
+	lw   $t4, 0($t3)              # table[hash]: last position
+	sw   $s3, 0($t3)
+	beqz $t4, nomatch
+	# compare bytes at the two positions
+	addu $t5, $s1, $t4
+	lbu  $t6, 0($t5)
+	bne  $t6, $t1, nomatch
+	addiu $s6, $s6, 1
+nomatch:
+	addiu $s3, $s3, 1
+	li   $t7, 4096
+	bne  $s3, $t7, hscan
+
+	# --- mutate 16 random buffer positions, then repeat ---
+	li   $t0, 0
+mut:
+` + xorshift + `
+	srl  $t1, $s0, 8
+	andi $t1, $t1, 0xfff          # position
+	andi $t2, $s0, 0x7
+	addiu $t2, $t2, 'a'
+	addu $t3, $s1, $t1
+	sb   $t2, 0($t3)
+	addiu $t0, $t0, 1
+	li   $t4, 16
+	bne  $t0, $t4, mut
+
+	b    outer
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "compress",
+		Model:       "SPECint95 129.compress",
+		Description: "RLE + rolling-hash match scanning over skewed pseudo-text",
+		Source:      compressSrc,
+	})
+}

@@ -1,0 +1,151 @@
+package progs
+
+// gobench stands in for SPECint95 099.go (the game of Go). Its
+// dominant behaviour is repeated whole-board scans with
+// neighbourhood inspection: nested loops over a 19x19 byte board,
+// bounds checks, colour compares and per-point influence scoring.
+// That yields dense short strides (board addresses), near-constant
+// compare results and data-dependent branches. The board is mutated
+// a little between scans, as game positions evolve slowly.
+const goSrc = `
+# go: 19x19 board scanning with neighbour counting and influence.
+	.data
+board:	.space 368                  # 19*19 = 361 bytes, padded
+infl:	.space 1448                 # 361 influence words, padded
+
+	.text
+main:
+	li   $s0, 69069                 # PRNG state
+
+	# Random initial position: 0 empty, 1 black, 2 white (skewed to empty).
+	li   $t0, 0
+	li   $t8, 361
+bfill:
+` + xorshift + `
+	andi $t1, $s0, 7
+	li   $t2, 0
+	li   $t3, 5
+	blt  $t1, $t3, bput             # 0..4 -> empty
+	andi $t2, $t1, 1
+	addiu $t2, $t2, 1               # 5,7 -> white(2)? 5->2? compute 1+(t1&1)
+bput:
+	sb   $t2, board($t0)
+	addiu $t0, $t0, 1
+	bne  $t0, $t8, bfill
+
+outer:
+	# --- full-board scan: per-point neighbour counting ---
+	li   $s1, 0                     # y
+	li   $s5, 0                     # total influence accumulator
+yloop:
+	li   $s2, 0                     # x
+xloop:
+	li   $t0, 19
+	mul  $t1, $s1, $t0
+	addu $t1, $t1, $s2              # idx = y*19 + x
+	lbu  $t2, board($t1)            # colour at point
+	li   $t3, 0                     # same-colour neighbour count
+	li   $t4, 0                     # empty neighbour count (liberties)
+
+	# north
+	beqz $s1, snorth
+	addiu $t5, $t1, -19
+	lbu  $t6, board($t5)
+	bnez $t6, nn1
+	addiu $t4, $t4, 1
+	b    snorth
+nn1:
+	bne  $t6, $t2, snorth
+	addiu $t3, $t3, 1
+snorth:
+	# south
+	li   $t7, 18
+	beq  $s1, $t7, ssouth
+	addiu $t5, $t1, 19
+	lbu  $t6, board($t5)
+	bnez $t6, ns1
+	addiu $t4, $t4, 1
+	b    ssouth
+ns1:
+	bne  $t6, $t2, ssouth
+	addiu $t3, $t3, 1
+ssouth:
+	# west
+	beqz $s2, swest
+	addiu $t5, $t1, -1
+	lbu  $t6, board($t5)
+	bnez $t6, nw1
+	addiu $t4, $t4, 1
+	b    swest
+nw1:
+	bne  $t6, $t2, swest
+	addiu $t3, $t3, 1
+swest:
+	# east
+	li   $t7, 18
+	beq  $s2, $t7, seast
+	addiu $t5, $t1, 1
+	lbu  $t6, board($t5)
+	bnez $t6, ne1
+	addiu $t4, $t4, 1
+	b    seast
+ne1:
+	bne  $t6, $t2, seast
+	addiu $t3, $t3, 1
+seast:
+	# influence[idx] = colour*16 + same*4 + liberties
+	sll  $t6, $t2, 4
+	sll  $t7, $t3, 2
+	addu $t6, $t6, $t7
+	addu $t6, $t6, $t4
+	sll  $t5, $t1, 2
+	sw   $t6, infl($t5)
+	addu $s5, $s5, $t6
+
+	addiu $s2, $s2, 1
+	li   $t7, 19
+	bne  $s2, $t7, xloop
+	addiu $s1, $s1, 1
+	li   $t7, 19
+	bne  $s1, $t7, yloop
+
+	# --- find the maximal-influence point (argmax scan) ---
+	li   $t0, 0                     # index
+	li   $t1, -1                    # best value
+	li   $t2, 0                     # best index
+	li   $t8, 361
+amax:
+	sll  $t3, $t0, 2
+	lw   $t4, infl($t3)
+	ble  $t4, $t1, anext
+	move $t1, $t4
+	move $t2, $t0
+anext:
+	addiu $t0, $t0, 1
+	bne  $t0, $t8, amax
+
+	# --- play: place alternating stone at a random empty-ish point ---
+	li   $t5, 0
+play:
+` + xorshift + `
+	srl  $t0, $s0, 7
+	li   $t6, 361
+	rem  $t0, $t0, $t6
+	andi $t1, $s0, 1
+	addiu $t1, $t1, 1
+	sb   $t1, board($t0)
+	addiu $t5, $t5, 1
+	li   $t6, 3
+	bne  $t5, $t6, play
+
+	b    outer
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "go",
+		Model:       "SPECint95 099.go",
+		Description: "19x19 board scans: neighbour counting, influence map, argmax",
+		Source:      goSrc,
+	})
+}

@@ -1,0 +1,125 @@
+package progs
+
+// ijpeg stands in for SPECint95 132.ijpeg (JPEG compression). Its
+// kernel is the blocked integer transform: the image is processed in
+// 8x8 blocks, each row put through a butterfly transform with small
+// constant multipliers and then quantized by a constant table using
+// integer division. This is multiply/divide-heavy code dominated by
+// regular address strides, exactly the profile that makes ijpeg the
+// biggest DFCM winner in the paper (Figure 10(b)).
+const ijpegSrc = `
+# ijpeg: 8x8 blocked integer transform + quantization over a 32x32 image.
+	.data
+image:	.space 1024                 # 32x32 bytes
+work:	.space 32                   # one row of 8 words
+coef:	.word 3, 5, 7, 9, 11, 13, 15, 17
+quant:	.word 8, 11, 10, 16, 24, 40, 51, 61
+
+	.text
+main:
+	li   $s0, 1013904223            # PRNG state
+
+	# Random image.
+	li   $t0, 0
+	li   $t8, 1024
+ifill:
+` + xorshift + `
+	andi $t1, $s0, 0xff
+	sb   $t1, image($t0)
+	addiu $t0, $t0, 1
+	bne  $t0, $t8, ifill
+
+	li   $s7, 0                     # frame checksum
+outer:
+	li   $s1, 0                     # block row (0..3)
+brow:
+	li   $s2, 0                     # block col (0..3)
+bcol:
+	li   $s3, 0                     # row within block (0..7)
+prow:
+	# row base = ((s1*8+s3)*32 + s2*8)
+	sll  $t0, $s1, 3
+	addu $t0, $t0, $s3
+	sll  $t0, $t0, 5
+	sll  $t1, $s2, 3
+	addu $s4, $t0, $t1              # byte index of row start
+
+	# load 8 pixels into work[] as words
+	li   $t2, 0
+ldrow:
+	addu $t3, $s4, $t2
+	lbu  $t4, image($t3)
+	sll  $t5, $t2, 2
+	sw   $t4, work($t5)
+	addiu $t2, $t2, 1
+	li   $t6, 8
+	bne  $t2, $t6, ldrow
+
+	# butterfly: t[k] = w[k] + w[7-k], u[k] = w[k] - w[7-k], k=0..3
+	# out[k]   = (t[k] * coef[k])   >> 2   (even part)
+	# out[k+4] = (u[k] * coef[k+4]) >> 2   (odd part)
+	li   $t2, 0
+bfly:
+	sll  $t5, $t2, 2
+	lw   $t3, work($t5)             # w[k]
+	li   $t6, 7
+	subu $t7, $t6, $t2
+	sll  $t7, $t7, 2
+	lw   $t4, work($t7)             # w[7-k]
+	addu $t6, $t3, $t4              # t
+	subu $t7, $t3, $t4              # u
+	lw   $t3, coef($t5)
+	mul  $t6, $t6, $t3              # even product
+	sra  $t6, $t6, 2
+	addiu $t5, $t5, 16
+	lw   $t3, coef($t5)
+	mul  $t7, $t7, $t3              # odd product
+	sra  $t7, $t7, 2
+	# quantize both by quant[k] / quant[k+4]
+	sll  $t5, $t2, 2
+	lw   $t3, quant($t5)
+	div  $t6, $t6, $t3
+	addiu $t5, $t5, 16
+	lw   $t3, quant($t5)
+	div  $t7, $t7, $t3
+	addu $s7, $s7, $t6
+	xor  $s7, $s7, $t7
+	addiu $t2, $t2, 1
+	li   $t6, 4
+	bne  $t2, $t6, bfly
+
+	addiu $s3, $s3, 1
+	li   $t6, 8
+	bne  $s3, $t6, prow
+	addiu $s2, $s2, 1
+	li   $t6, 4
+	bne  $s2, $t6, bcol
+	addiu $s1, $s1, 1
+	li   $t6, 4
+	bne  $s1, $t6, brow
+
+	# mutate a diagonal stripe of the image, then next frame
+	li   $t0, 0
+mut:
+	li   $t1, 33
+	mul  $t2, $t0, $t1              # idx = k*33 (diagonal)
+	andi $t2, $t2, 1023
+	lbu  $t3, image($t2)
+	addiu $t3, $t3, 7
+	andi $t3, $t3, 0xff
+	sb   $t3, image($t2)
+	addiu $t0, $t0, 1
+	li   $t1, 32
+	bne  $t0, $t1, mut
+
+	b    outer
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "ijpeg",
+		Model:       "SPECint95 132.ijpeg",
+		Description: "8x8 blocked integer transform and quantization over an image",
+		Source:      ijpegSrc,
+	})
+}

@@ -1,0 +1,101 @@
+package progs
+
+// li stands in for SPECint95 "li" (a Lisp interpreter). Its dominant
+// behaviour is pointer chasing over heap-allocated cons cells whose
+// addresses recur across interpreter cycles — repeating non-stride
+// context patterns — plus list-length induction variables and compare
+// results. The program builds a 256-cell list on the sbrk heap and
+// then loops: sum the values, reverse the list in place, search for a
+// key, and mutate a random cell.
+const liSrc = `
+# li: cons-cell list workout (sum / reverse / assoc / mutate).
+	.text
+main:
+	li   $a0, 2048            # 256 cells x 8 bytes
+	li   $v0, 9
+	syscall                   # $v0 = heap base
+	move $s2, $v0             # cell region base (fixed)
+	move $s1, $v0             # current list head
+	li   $s0, 123456789       # PRNG state
+
+	# Build the list: cell i = { value, next }.
+	li   $t0, 0
+build:
+	sll  $t1, $t0, 3
+	addu $t1, $s2, $t1
+` + xorshift + `
+	andi $t2, $s0, 1023
+	sw   $t2, 0($t1)          # value
+	addiu $t3, $t0, 1
+	li   $t4, 256
+	beq  $t3, $t4, lastcell
+	sll  $t5, $t3, 3
+	addu $t5, $s2, $t5
+	sw   $t5, 4($t1)          # next = address of cell i+1
+	b    buildnext
+lastcell:
+	sw   $zero, 4($t1)
+buildnext:
+	addiu $t0, $t0, 1
+	li   $t4, 256
+	bne  $t0, $t4, build
+
+outer:
+	# --- sum the list (pointer chase) ---
+	move $t0, $s1             # p
+	li   $t1, 0               # sum
+	li   $t2, 0               # length
+sum:
+	beqz $t0, sumdone
+	lw   $t3, 0($t0)
+	addu $t1, $t1, $t3
+	addiu $t2, $t2, 1
+	lw   $t0, 4($t0)          # p = p->next
+	b    sum
+sumdone:
+
+	# --- reverse the list in place ---
+	move $t0, $s1             # p
+	li   $t3, 0               # prev
+rev:
+	beqz $t0, revdone
+	lw   $t4, 4($t0)          # next
+	sw   $t3, 4($t0)
+	move $t3, $t0
+	move $t0, $t4
+	b    rev
+revdone:
+	move $s1, $t3             # new head
+
+	# --- assoc: find first cell with value < key ---
+` + xorshift + `
+	andi $s4, $s0, 255        # key
+	move $t0, $s1
+find:
+	beqz $t0, findone
+	lw   $t5, 0($t0)
+	blt  $t5, $s4, findone
+	lw   $t0, 4($t0)
+	b    find
+findone:
+
+	# --- mutate one random cell's value ---
+` + xorshift + `
+	andi $t6, $s0, 255
+	sll  $t6, $t6, 3
+	addu $t6, $s2, $t6
+` + xorshift + `
+	andi $t7, $s0, 1023
+	sw   $t7, 0($t6)
+
+	b    outer
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "li",
+		Model:       "SPECint95 130.li",
+		Description: "cons-cell list interpreter loop: pointer chasing, reversal, search",
+		Source:      liSrc,
+	})
+}

@@ -1,0 +1,151 @@
+package progs
+
+// m88ksim stands in for SPECint95 124.m88ksim (a Motorola 88100
+// simulator). Like the original, it is an interpreter: a
+// fetch-decode-dispatch-execute loop over a small embedded "guest"
+// program for a 16-register toy ISA. Interpreters are the canonical
+// source of repeating non-stride context patterns — the fetched
+// instruction words, decoded fields and guest register values recur
+// in fixed sequences that only a context predictor can capture.
+//
+// Guest encoding: op = bits 31:28, rd = 27:24, rs = 23:20,
+// imm = 15:0 (signed). Ops: 0 addi, 1 add, 2 sub, 3 xor, 4 blt
+// (vpc += 1+imm when vrd < vrs), 5 load (vrd = data[vrs&255]),
+// 6 store (data[vrs&255] = vrd), 7 jmp (vpc = imm), 8 shr.
+//
+// The guest program sums and scrambles a 64-element window of the
+// data array forever:
+//
+//	0: addi v4, v0, 64     ; limit
+//	1: addi v1, v0, 0      ; i = 0
+//	2: addi v2, v0, 0      ; sum = 0
+//	3: load v3, v1         ; v3 = data[i]
+//	4: add  v2, v3         ; sum += v3
+//	5: xor  v5, v3         ; scramble accumulator
+//	6: addi v1, v1, 1      ; i++
+//	7: blt  v1, v4, -5     ; loop to 3
+//	8: shr  v6, v2, 3
+//	9: store v6, v1
+//	10: addi v7, v7, 1     ; epoch counter
+//	11: jmp 1
+const m88ksimSrc = `
+# m88ksim: toy-ISA interpreter (fetch / decode / dispatch / execute).
+	.data
+vregs:	.space 64                  # 16 guest registers
+vdata:	.space 1024                # 256-word guest data memory
+prog:
+	.word 0x04000040
+	.word 0x01000000
+	.word 0x02000000
+	.word 0x53100000
+	.word 0x12300000
+	.word 0x35300000
+	.word 0x01100001
+	.word 0x414ffffb
+	.word 0x86200003
+	.word 0x66100000
+	.word 0x07700001
+	.word 0x70000001
+
+	.text
+main:
+	li   $s0, 362436069            # PRNG state
+	li   $t0, 0
+	li   $t8, 256
+vfill:
+` + xorshift + `
+	andi $t1, $s0, 0xffff
+	sll  $t2, $t0, 2
+	sw   $t1, vdata($t2)
+	addiu $t0, $t0, 1
+	bne  $t0, $t8, vfill
+
+	li   $s3, 0                    # guest vpc
+step:
+	sll  $t0, $s3, 2
+	lw   $t1, prog($t0)            # fetch
+	addiu $s3, $s3, 1              # default next vpc
+	srl  $t2, $t1, 28              # op
+	srl  $t3, $t1, 24
+	andi $t3, $t3, 0xf             # rd
+	srl  $t4, $t1, 20
+	andi $t4, $t4, 0xf             # rs
+	sll  $t5, $t1, 16
+	sra  $t5, $t5, 16              # imm, sign-extended
+	sll  $t6, $t3, 2               # rd byte offset
+	sll  $t7, $t4, 2               # rs byte offset
+	lw   $s4, vregs($t7)           # vrs value
+
+	beqz $t2, op_addi
+	li   $s5, 1
+	beq  $t2, $s5, op_add
+	li   $s5, 2
+	beq  $t2, $s5, op_sub
+	li   $s5, 3
+	beq  $t2, $s5, op_xor
+	li   $s5, 4
+	beq  $t2, $s5, op_blt
+	li   $s5, 5
+	beq  $t2, $s5, op_load
+	li   $s5, 6
+	beq  $t2, $s5, op_store
+	li   $s5, 7
+	beq  $t2, $s5, op_jmp
+	li   $s5, 8
+	beq  $t2, $s5, op_shr
+	b    step                      # unknown op: skip
+
+op_addi:
+	addu $t0, $s4, $t5
+	sw   $t0, vregs($t6)
+	b    step
+op_add:
+	lw   $t0, vregs($t6)
+	addu $t0, $t0, $s4
+	sw   $t0, vregs($t6)
+	b    step
+op_sub:
+	lw   $t0, vregs($t6)
+	subu $t0, $t0, $s4
+	sw   $t0, vregs($t6)
+	b    step
+op_xor:
+	lw   $t0, vregs($t6)
+	xor  $t0, $t0, $s4
+	sw   $t0, vregs($t6)
+	b    step
+op_blt:
+	lw   $t0, vregs($t6)
+	bge  $t0, $s4, step
+	addu $s3, $s3, $t5             # vpc = vpc+1+imm
+	b    step
+op_load:
+	andi $t0, $s4, 255
+	sll  $t0, $t0, 2
+	lw   $t1, vdata($t0)
+	sw   $t1, vregs($t6)
+	b    step
+op_store:
+	andi $t0, $s4, 255
+	sll  $t0, $t0, 2
+	lw   $t1, vregs($t6)
+	sw   $t1, vdata($t0)
+	b    step
+op_jmp:
+	move $s3, $t5
+	b    step
+op_shr:
+	andi $t0, $t5, 31
+	srlv $t1, $s4, $t0
+	sw   $t1, vregs($t6)
+	b    step
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "m88ksim",
+		Model:       "SPECint95 124.m88ksim",
+		Description: "toy-ISA interpreter: fetch/decode/dispatch loop over a guest program",
+		Source:      m88ksimSrc,
+	})
+}

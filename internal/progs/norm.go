@@ -1,0 +1,90 @@
+package progs
+
+// norm is the paper's Figure 5 micro-benchmark: each row of a
+// 200x100 matrix is scaled by the largest absolute value in the row.
+// The paper uses it to show how a function "full of stride patterns"
+// (the induction variables i and j, the compiler temporaries j*4,
+// &matrix[i], &matrix[i][j], and the near-constant slt results)
+// floods the FCM level-2 table. The MR32 version uses integer
+// division instead of floating point — the value streams of interest
+// (induction variables, addresses, compare results) are identical.
+const normSrc = `
+# norm: scale each matrix row by its maximal absolute element.
+	.data
+matrix:	.space 80000          # 200 x 100 words
+
+	.text
+main:
+	li   $s0, 2463534242      # PRNG state
+	la   $s1, matrix
+
+	# Fill the matrix with values in [1, 16384].
+	li   $s2, 0               # element index
+	li   $s3, 20000
+fill:
+` + xorshift + `
+	andi $t0, $s0, 0x3fff
+	addiu $t0, $t0, 1
+	sll  $t1, $s2, 2
+	addu $t1, $s1, $t1
+	sw   $t0, 0($t1)
+	addiu $s2, $s2, 1
+	bne  $s2, $s3, fill
+
+	li   $s4, 0               # i = row index
+rows:
+	li   $t0, 100
+	mul  $s7, $s4, $t0        # row base element index i*100
+	addiu $t2, $s7, 99
+	sll  $t2, $t2, 2
+	addu $t2, $s1, $t2
+	lw   $s5, 0($t2)          # max = matrix[i][99]
+
+	li   $s6, 0               # j
+maxloop:
+	addu $t3, $s7, $s6
+	sll  $t3, $t3, 2
+	addu $t3, $s1, $t3
+	lw   $t4, 0($t3)
+	bgez $t4, abspos
+	neg  $t4, $t4
+abspos:
+	ble  $t4, $s5, nomax
+	move $s5, $t4
+nomax:
+	addiu $s6, $s6, 1
+	li   $t5, 99
+	bne  $s6, $t5, maxloop
+
+	bnez $s5, divrow          # if (max == 0) max = 1
+	li   $s5, 1
+divrow:
+	li   $s6, 0               # j
+divloop:
+	addu $t3, $s7, $s6
+	sll  $t3, $t3, 2
+	addu $t3, $s1, $t3
+	lw   $t4, 0($t3)
+	div  $t6, $t4, $s5
+	sw   $t6, 0($t3)
+	addiu $s6, $s6, 1
+	li   $t5, 100
+	bne  $s6, $t5, divloop
+
+	addiu $s4, $s4, 1
+	li   $t5, 200
+	bne  $s4, $t5, rows
+
+	li   $v0, 10
+	syscall
+`
+
+func init() {
+	register(&Benchmark{
+		Name:            "norm",
+		Model:           "Figure 5 micro-benchmark",
+		Description:     "row normalization of a 200x100 matrix; saturated with stride patterns",
+		Source:          normSrc,
+		SelfTerminating: true,
+	})
+}

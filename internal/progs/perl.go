@@ -1,0 +1,114 @@
+package progs
+
+// perl stands in for SPECint95 134.perl running the scrabbl.pl
+// training input: string scanning and hash-table traffic. The
+// program generates 7-letter words, scores them with a per-letter
+// value table (byte loads + table lookups, like scrabble scoring),
+// inserts the scores into a 64-bucket chained hash table built from a
+// fixed node pool, and then probes the table. Chain walking produces
+// pointer-chase context patterns; scoring produces table-lookup
+// patterns; word generation produces semi-random values.
+const perlSrc = `
+# perl: word scoring + chained hash table (scrabble-style).
+	.data
+word:	.space 8                    # current 7-letter word + NUL
+letval:	.word 1,3,3,2,1,4,2,4,1,8,5,1,3,1,1,3,10,1,1,1,1,4,4,8,4,10
+buckets:	.space 256              # 64 chain heads
+nodes:	.space 1536                 # 128 nodes x {key, score, next}
+
+	.text
+main:
+	li   $s0, 2654435761            # PRNG state
+	li   $s5, 0                     # next node index (round robin)
+	li   $s6, 0                     # running score total
+
+outer:
+	# --- generate a 7-letter word ---
+	li   $t0, 0
+wgen:
+` + xorshift + `
+	srl  $t1, $s0, 3
+	li   $t2, 26
+	rem  $t1, $t1, $t2
+	addiu $t1, $t1, 'a'
+	sb   $t1, word($t0)
+	addiu $t0, $t0, 1
+	li   $t2, 7
+	bne  $t0, $t2, wgen
+	sb   $zero, word($t0)
+
+	# --- score it: sum letval[c-'a'] * (pos+1), and hash it ---
+	li   $t0, 0                     # position
+	li   $s1, 0                     # score
+	li   $s2, 5381                  # word hash
+score:
+	lbu  $t1, word($t0)
+	beqz $t1, scored
+	addiu $t2, $t1, -97
+	sll  $t2, $t2, 2
+	lw   $t3, letval($t2)           # letter value
+	addiu $t4, $t0, 1
+	mul  $t3, $t3, $t4              # positional multiplier
+	addu $s1, $s1, $t3
+	sll  $t5, $s2, 5                # hash = hash*33 ^ c
+	addu $t5, $t5, $s2
+	xor  $s2, $t5, $t1
+	addiu $t0, $t0, 1
+	b    score
+scored:
+	addu $s6, $s6, $s1
+
+	# --- insert into hash table: bucket = hash & 63 ---
+	andi $t0, $s2, 63
+	sll  $t0, $t0, 2                # bucket offset
+	# grab the next pool node
+	li   $t1, 12
+	mul  $t2, $s5, $t1              # node byte offset
+	addiu $s5, $s5, 1
+	andi $s5, $s5, 127
+	# node = {key, score, next=old head}
+	sw   $s2, nodes($t2)
+	addiu $t3, $t2, 4
+	sw   $s1, nodes($t3)
+	lw   $t4, buckets($t0)          # old head (absolute address or 0)
+	addiu $t3, $t2, 8
+	sw   $t4, nodes($t3)
+	# head = &nodes[node]
+	la   $t5, nodes
+	addu $t5, $t5, $t2
+	sw   $t5, buckets($t0)
+
+	# --- probe: look up 4 random hashes, walking chains ---
+	li   $s3, 0
+probe:
+` + xorshift + `
+	andi $t0, $s0, 63
+	sll  $t0, $t0, 2
+	lw   $t1, buckets($t0)          # chain head
+	li   $t2, 0                     # chain length
+walk:
+	beqz $t1, walked
+	lw   $t3, 0($t1)                # key
+	lw   $t4, 4($t1)                # score
+	addu $s6, $s6, $t4
+	addiu $t2, $t2, 1
+	li   $t5, 16
+	beq  $t2, $t5, walked           # bound chain walks
+	lw   $t1, 8($t1)                # next
+	b    walk
+walked:
+	addiu $s3, $s3, 1
+	li   $t6, 4
+	bne  $s3, $t6, probe
+
+	b    outer
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "perl",
+		Model:       "SPECint95 134.perl",
+		Description: "word scoring and chained hash-table insert/probe (scrabble-style)",
+		Source:      perlSrc,
+	})
+}

@@ -1,0 +1,128 @@
+// Package progs contains the benchmark suite: eight synthetic MR32
+// assembly programs standing in for the paper's SPECint95 benchmarks,
+// plus the norm() micro-benchmark from the paper's Figure 5.
+//
+// Each program imitates the dominant value-production behaviour of its
+// SPECint95 namesake — the mixture of constant patterns (compare
+// results, repeatedly loaded globals), stride patterns (loop induction
+// variables, address arithmetic) and repeating non-stride context
+// patterns (pointer chasing over stable structures, interpreter
+// dispatch) that the paper's analysis rests on. All programs are
+// deterministic: data is generated internally with a seeded xorshift
+// PRNG written in MR32 assembly.
+//
+// The eight SPECint stand-ins run unbounded outer loops and are meant
+// to be truncated by the simulator's instruction budget, mirroring the
+// paper's "first 200 million instructions" methodology; norm runs to
+// completion.
+package progs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Benchmark describes one suite entry (the repo's analogue of the
+// paper's Table 1).
+type Benchmark struct {
+	Name string
+	// Model names the SPECint95 program this benchmark stands in for.
+	Model string
+	// Description summarizes the workload.
+	Description string
+	// Source is the MR32 assembly text.
+	Source string
+	// SelfTerminating is true for programs that exit on their own
+	// (norm); the others run until the instruction budget expires.
+	SelfTerminating bool
+}
+
+// registry of all benchmarks, populated by the per-program files.
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("progs: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// SPECNames lists the eight SPECint95 stand-ins in the paper's order.
+func SPECNames() []string {
+	return []string{"cc1", "compress", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+}
+
+// Names lists every registered benchmark, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the benchmark with the given name.
+func Get(name string) (*Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("progs: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*asm.Program{}
+)
+
+// Program returns the assembled program for a benchmark, cached.
+func Program(name string) (*asm.Program, error) {
+	b, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[name]; ok {
+		return p, nil
+	}
+	p, err := asm.Assemble(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("progs: assembling %s: %w", name, err)
+	}
+	progCache[name] = p
+	return p, nil
+}
+
+// TraceFor runs a benchmark under the given instruction budget
+// (0 = to completion; only sensible for self-terminating programs)
+// and returns its value trace.
+func TraceFor(name string, budget uint64) (trace.Trace, error) {
+	p, err := Program(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := vm.Trace(p, budget)
+	if err != nil {
+		return nil, fmt.Errorf("progs: running %s: %w", name, err)
+	}
+	return tr, nil
+}
+
+// xorshift32 is the assembly sequence used by every program to advance
+// the PRNG in $s0, clobbering the named temporary. Kept as a Go
+// constant so the programs stay textually consistent.
+const xorshift = `
+	sll  $t9, $s0, 13
+	xor  $s0, $s0, $t9
+	srl  $t9, $s0, 17
+	xor  $s0, $s0, $t9
+	sll  $t9, $s0, 5
+	xor  $s0, $s0, $t9
+`

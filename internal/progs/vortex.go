@@ -1,0 +1,135 @@
+package progs
+
+// vortex stands in for SPECint95 147.vortex (an object-oriented
+// in-memory database). The program maintains 512 fixed-size records
+// and an open-addressing hash index over their ids, and runs a mixed
+// transaction stream: keyed lookups (probe loops with data-dependent
+// exit), field updates, and periodic record replacement followed by a
+// full index rebuild (a long regular stride pass, like vortex's
+// object-memory compaction).
+const vortexSrc = `
+# vortex: record store + open-addressing hash index, mixed transactions.
+	.data
+recs:	.space 8192                  # 512 records x {id, a, b, sum}
+index:	.space 4096                  # 1024 slots holding recno+1 (0 = empty)
+
+	.text
+main:
+	li   $s0, 1597334677             # PRNG state
+
+	# Create 512 records with random ids and rebuild the index.
+	li   $s1, 0                      # recno
+mkrec:
+` + xorshift + `
+	srl  $t0, $s0, 4
+	andi $t0, $t0, 0xffff
+	ori  $t0, $t0, 1                 # id, never 0
+	sll  $t1, $s1, 4                 # record byte offset
+	sw   $t0, recs($t1)              # id
+	andi $t2, $s0, 0xff
+	addiu $t3, $t1, 4
+	sw   $t2, recs($t3)              # a
+	srl  $t4, $s0, 24
+	addiu $t3, $t1, 8
+	sw   $t4, recs($t3)              # b
+	addu $t5, $t0, $t2
+	addu $t5, $t5, $t4
+	addiu $t3, $t1, 12
+	sw   $t5, recs($t3)              # sum
+	addiu $s1, $s1, 1
+	li   $t6, 512
+	bne  $s1, $t6, mkrec
+	jal  rebuild
+
+	li   $s6, 0                      # transaction counter
+outer:
+` + xorshift + `
+	# pick a victim record to take an id from (so lookups mostly hit)
+	srl  $t0, $s0, 9
+	andi $t0, $t0, 511
+	sll  $t1, $t0, 4
+	lw   $s2, recs($t1)              # target id
+
+	# --- lookup: probe the index ---
+	li   $t2, 1023
+	and  $t3, $s2, $t2               # slot = id & 1023
+probe:
+	sll  $t4, $t3, 2
+	lw   $t5, index($t4)             # recno+1
+	beqz $t5, missed
+	addiu $t6, $t5, -1
+	sll  $t7, $t6, 4
+	lw   $s4, recs($t7)              # candidate id
+	beq  $s4, $s2, found
+	addiu $t3, $t3, 1
+	andi $t3, $t3, 1023
+	b    probe
+found:
+	# --- update: b += a, recompute sum ---
+	addiu $t0, $t7, 4
+	lw   $t1, recs($t0)              # a
+	addiu $t0, $t7, 8
+	lw   $t2, recs($t0)              # b
+	addu $t2, $t2, $t1
+	sw   $t2, recs($t0)
+	lw   $t3, recs($t7)              # id
+	addu $t4, $t3, $t1
+	addu $t4, $t4, $t2
+	addiu $t0, $t7, 12
+	sw   $t4, recs($t0)              # sum
+missed:
+	addiu $s6, $s6, 1
+
+	# every 64th transaction: replace a record and rebuild the index
+	andi $t0, $s6, 63
+	bnez $t0, outer
+` + xorshift + `
+	srl  $t1, $s0, 5
+	andi $t1, $t1, 511               # recno to replace
+	sll  $t2, $t1, 4
+	srl  $t3, $s0, 13
+	andi $t3, $t3, 0xffff
+	ori  $t3, $t3, 1
+	sw   $t3, recs($t2)              # new id
+	jal  rebuild
+	b    outer
+
+# rebuild clears the index and reinserts all 512 records.
+# Clobbers $t0..$t7.
+rebuild:
+	li   $t0, 0
+	li   $t1, 1024
+clr:
+	sll  $t2, $t0, 2
+	sw   $zero, index($t2)
+	addiu $t0, $t0, 1
+	bne  $t0, $t1, clr
+	li   $t0, 0                      # recno
+ins:
+	sll  $t2, $t0, 4
+	lw   $t3, recs($t2)              # id
+	andi $t4, $t3, 1023              # slot
+insprobe:
+	sll  $t5, $t4, 2
+	lw   $t6, index($t5)
+	beqz $t6, insput
+	addiu $t4, $t4, 1
+	andi $t4, $t4, 1023
+	b    insprobe
+insput:
+	addiu $t7, $t0, 1
+	sw   $t7, index($t5)
+	addiu $t0, $t0, 1
+	li   $t1, 512
+	bne  $t0, $t1, ins
+	jr   $ra
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "vortex",
+		Model:       "SPECint95 147.vortex",
+		Description: "record store with open-addressing index: lookups, updates, rebuilds",
+		Source:      vortexSrc,
+	})
+}

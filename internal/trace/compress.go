@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bufio"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Compressed container: "VTRZ" magic followed by a DEFLATE stream
+// holding a complete VTR1 payload. The delta encoding of VTR1 makes
+// the flate layer very effective (typically another 2-4x) because
+// repeated loop bodies produce repeated delta sequences.
+
+const zMagic = "VTRZ"
+
+// WriteCompressed serializes t as a flate-compressed VTR1 stream.
+func WriteCompressed(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(zMagic); err != nil {
+		return err
+	}
+	fw, err := flate.NewWriter(bw, flate.DefaultCompression)
+	if err != nil {
+		return err
+	}
+	if err := Write(fw, t); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadAuto reads a trace in either the plain VTR1 or the compressed
+// VTRZ container, detecting the format from the magic.
+func ReadAuto(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	switch string(magic) {
+	case zMagic:
+		if _, err := br.Discard(4); err != nil {
+			return nil, err
+		}
+		fr := flate.NewReader(br)
+		defer fr.Close()
+		return Read(fr)
+	case fileMagic:
+		return Read(br)
+	default:
+		return nil, ErrBadMagic
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 500, 20000} {
+		tr := sampleTrace(n, int64(n)+7)
+		var buf bytes.Buffer
+		if err := WriteCompressed(&buf, tr); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := ReadAuto(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != len(tr) {
+			t.Fatalf("n=%d: %d events, want %d", n, len(got), len(tr))
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				t.Fatalf("n=%d: event %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestReadAutoHandlesPlain(t *testing.T) {
+	tr := sampleTrace(300, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Errorf("plain auto-read lost events: %d vs %d", len(got), len(tr))
+	}
+}
+
+func TestReadAutoRejectsGarbage(t *testing.T) {
+	if _, err := ReadAuto(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := ReadAuto(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestCompressionWins(t *testing.T) {
+	// A loopy trace (repeated bodies) must compress well beyond the
+	// delta encoding alone.
+	var tr Trace
+	for i := 0; i < 5000; i++ {
+		for k := 0; k < 8; k++ {
+			tr = append(tr, Event{PC: uint32(0x1000 + 4*k), Value: uint32(i * (k + 1))})
+		}
+	}
+	var plain, comp bytes.Buffer
+	if err := Write(&plain, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressed(&comp, tr); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= plain.Len() {
+		t.Errorf("compressed %d >= plain %d bytes", comp.Len(), plain.Len())
+	}
+	t.Logf("plain %.2f B/event, compressed %.2f B/event",
+		float64(plain.Len())/float64(len(tr)), float64(comp.Len())/float64(len(tr)))
+}

@@ -1,0 +1,82 @@
+package trace
+
+import "sort"
+
+// Stats summarizes a trace: the shape information a workload engineer
+// needs before pointing a predictor at it.
+type Stats struct {
+	Events      int
+	DistinctPCs int
+	// TopPCs lists the most frequently executed static instructions.
+	TopPCs []PCStat
+	// ConstantFrac is the fraction of events equal to the previous
+	// value at the same PC (last-value predictable).
+	ConstantFrac float64
+	// StrideFrac is the fraction of events equal to the previous
+	// value plus the previous stride at the same PC (stride
+	// predictable, infinite table).
+	StrideFrac float64
+}
+
+// PCStat is the per-static-instruction slice of the statistics.
+type PCStat struct {
+	PC     uint32
+	Count  int
+	Values int // distinct values produced
+}
+
+// Summarize computes Stats over a trace, keeping the topN most
+// frequent PCs (0 keeps none).
+func Summarize(t Trace, topN int) Stats {
+	type pcState struct {
+		count  int
+		last   uint32
+		stride uint32
+		seen   bool
+		values map[uint32]struct{}
+	}
+	perPC := make(map[uint32]*pcState)
+	var constant, stride int
+	for _, e := range t {
+		s := perPC[e.PC]
+		if s == nil {
+			s = &pcState{values: make(map[uint32]struct{})}
+			perPC[e.PC] = s
+		}
+		if s.seen {
+			if e.Value == s.last {
+				constant++
+			}
+			if e.Value == s.last+s.stride {
+				stride++
+			}
+			s.stride = e.Value - s.last
+		}
+		s.seen = true
+		s.last = e.Value
+		s.count++
+		if len(s.values) < 1<<16 { // bound memory on adversarial traces
+			s.values[e.Value] = struct{}{}
+		}
+	}
+	st := Stats{Events: len(t), DistinctPCs: len(perPC)}
+	if len(t) > 0 {
+		st.ConstantFrac = float64(constant) / float64(len(t))
+		st.StrideFrac = float64(stride) / float64(len(t))
+	}
+	if topN > 0 {
+		for pc, s := range perPC {
+			st.TopPCs = append(st.TopPCs, PCStat{PC: pc, Count: s.count, Values: len(s.values)})
+		}
+		sort.Slice(st.TopPCs, func(i, j int) bool {
+			if st.TopPCs[i].Count != st.TopPCs[j].Count {
+				return st.TopPCs[i].Count > st.TopPCs[j].Count
+			}
+			return st.TopPCs[i].PC < st.TopPCs[j].PC
+		})
+		if len(st.TopPCs) > topN {
+			st.TopPCs = st.TopPCs[:topN]
+		}
+	}
+	return st
+}

@@ -1,0 +1,64 @@
+package trace
+
+import "testing"
+
+func TestSummarizeBasics(t *testing.T) {
+	var tr Trace
+	// PC 0x100: constant 5 (10 events); PC 0x104: stride 3 (10 events).
+	for i := 0; i < 10; i++ {
+		tr = append(tr,
+			Event{PC: 0x100, Value: 5},
+			Event{PC: 0x104, Value: uint32(i * 3)})
+	}
+	st := Summarize(tr, 5)
+	if st.Events != 20 || st.DistinctPCs != 2 {
+		t.Fatalf("events=%d pcs=%d", st.Events, st.DistinctPCs)
+	}
+	// 9 of 20 events are constant-predictable (PC 0x100 after the
+	// first); constants are also stride-predictable (stride 0), and
+	// the stride PC is stride-predictable from its third event.
+	if got := st.ConstantFrac; got != 9.0/20 {
+		t.Errorf("ConstantFrac = %v, want %v", got, 9.0/20)
+	}
+	if got := st.StrideFrac; got != 17.0/20 {
+		t.Errorf("StrideFrac = %v, want %v", got, 17.0/20)
+	}
+	if len(st.TopPCs) != 2 {
+		t.Fatalf("TopPCs = %v", st.TopPCs)
+	}
+	// Tie on count (10 each) resolved by PC.
+	if st.TopPCs[0].PC != 0x100 || st.TopPCs[0].Values != 1 {
+		t.Errorf("top PC = %+v", st.TopPCs[0])
+	}
+	if st.TopPCs[1].Values != 10 {
+		t.Errorf("stride PC distinct values = %d, want 10", st.TopPCs[1].Values)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil, 3)
+	if st.Events != 0 || st.ConstantFrac != 0 || st.StrideFrac != 0 || len(st.TopPCs) != 0 {
+		t.Errorf("empty summary: %+v", st)
+	}
+}
+
+func TestSummarizeTopNTruncates(t *testing.T) {
+	var tr Trace
+	for pc := uint32(0); pc < 40; pc++ {
+		for i := 0; i <= int(pc); i++ {
+			tr = append(tr, Event{PC: 0x1000 + pc*4, Value: pc})
+		}
+	}
+	st := Summarize(tr, 3)
+	if len(st.TopPCs) != 3 {
+		t.Fatalf("TopPCs has %d entries", len(st.TopPCs))
+	}
+	// Hottest first.
+	if st.TopPCs[0].Count < st.TopPCs[1].Count || st.TopPCs[1].Count < st.TopPCs[2].Count {
+		t.Error("TopPCs not sorted by count")
+	}
+	// topN = 0 keeps none.
+	if got := Summarize(tr, 0); len(got.TopPCs) != 0 {
+		t.Error("topN=0 should keep no PCs")
+	}
+}

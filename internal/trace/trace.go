@@ -1,0 +1,122 @@
+// Package trace defines the value-trace substrate shared by the
+// simulator, the predictors and the experiment harness.
+//
+// A trace is a sequence of Events, each recording that the static
+// instruction at PC produced the 32-bit integer register value Value.
+// This mirrors the paper's methodology: traces are generated on the fly
+// by a functional simulator (SimpleScalar sim-safe there, internal/vm
+// here) filtered down to integer register-producing instructions,
+// including loads and excluding branches and jumps.
+//
+// The package provides in-memory traces, a compact varint-encoded file
+// format, replay helpers, and the delayed-update queue used for the
+// paper's section 4.5 experiment.
+package trace
+
+// Event is a single predicted instruction: the program counter of the
+// static instruction and the integer register value it produced.
+// Values are 32-bit, as on the paper's (MIPS) target; predictors widen
+// them internally.
+type Event struct {
+	PC    uint32
+	Value uint32
+}
+
+// Trace is an in-memory sequence of events.
+type Trace []Event
+
+// Source yields trace events one at a time. Next returns the next event
+// and true, or a zero Event and false once the source is exhausted.
+// Sources are single-use; obtain a fresh one to replay.
+type Source interface {
+	Next() (Event, bool)
+}
+
+// Reader adapts a Trace to a Source.
+type Reader struct {
+	t Trace
+	i int
+}
+
+// NewReader returns a Source replaying t from the beginning.
+func NewReader(t Trace) *Reader { return &Reader{t: t} }
+
+// Next implements Source.
+func (r *Reader) Next() (Event, bool) {
+	if r.i >= len(r.t) {
+		return Event{}, false
+	}
+	e := r.t[r.i]
+	r.i++
+	return e, true
+}
+
+// Collect drains src into an in-memory Trace. If max > 0, at most max
+// events are collected.
+func Collect(src Source, max int) Trace {
+	var t Trace
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return t
+		}
+		t = append(t, e)
+		if max > 0 && len(t) >= max {
+			return t
+		}
+	}
+}
+
+// Limit wraps src so that at most n events are produced.
+func Limit(src Source, n int) Source { return &limiter{src: src, left: n} }
+
+type limiter struct {
+	src  Source
+	left int
+}
+
+func (l *limiter) Next() (Event, bool) {
+	if l.left <= 0 {
+		return Event{}, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// Concat returns a Source that drains each source in turn.
+func Concat(srcs ...Source) Source { return &concat{srcs: srcs} }
+
+type concat struct {
+	srcs []Source
+}
+
+func (c *concat) Next() (Event, bool) {
+	for len(c.srcs) > 0 {
+		if e, ok := c.srcs[0].Next(); ok {
+			return e, true
+		}
+		c.srcs = c.srcs[1:]
+	}
+	return Event{}, false
+}
+
+// Func adapts a closure to a Source.
+type Func func() (Event, bool)
+
+// Next implements Source.
+func (f Func) Next() (Event, bool) { return f() }
+
+// Filter yields only the events of src for which keep returns true.
+func Filter(src Source, keep func(Event) bool) Source {
+	return Func(func() (Event, bool) {
+		for {
+			e, ok := src.Next()
+			if !ok {
+				return Event{}, false
+			}
+			if keep(e) {
+				return e, true
+			}
+		}
+	})
+}

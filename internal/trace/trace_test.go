@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace(n int, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := make(Trace, n)
+	pc := uint32(0x1000)
+	for i := range t {
+		if rng.Intn(4) == 0 {
+			pc = 0x1000 + uint32(rng.Intn(256))*4
+		}
+		t[i] = Event{PC: pc, Value: rng.Uint32() >> uint(rng.Intn(24))}
+	}
+	return t
+}
+
+func TestReaderReplaysAll(t *testing.T) {
+	tr := sampleTrace(100, 1)
+	got := Collect(NewReader(tr), 0)
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("reader did not replay trace verbatim")
+	}
+}
+
+func TestReaderExhaustion(t *testing.T) {
+	r := NewReader(Trace{{PC: 4, Value: 5}})
+	if _, ok := r.Next(); !ok {
+		t.Fatal("first Next failed")
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("Next after exhaustion returned ok")
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("repeated Next after exhaustion returned ok")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	tr := sampleTrace(100, 2)
+	if got := Collect(NewReader(tr), 10); len(got) != 10 {
+		t.Errorf("Collect(max=10) returned %d events", len(got))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tr := sampleTrace(50, 3)
+	got := Collect(Limit(NewReader(tr), 7), 0)
+	if len(got) != 7 {
+		t.Errorf("Limit(7) yielded %d events", len(got))
+	}
+	if !reflect.DeepEqual(got, tr[:7]) {
+		t.Error("Limit changed event contents")
+	}
+	if got := Collect(Limit(NewReader(tr), 0), 0); len(got) != 0 {
+		t.Errorf("Limit(0) yielded %d events", len(got))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, b := sampleTrace(5, 4), sampleTrace(3, 5)
+	got := Collect(Concat(NewReader(a), NewReader(b)), 0)
+	want := append(append(Trace{}, a...), b...)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Concat did not chain sources")
+	}
+	if got := Collect(Concat(), 0); len(got) != 0 {
+		t.Error("empty Concat should be empty")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := Func(func() (Event, bool) {
+		if n >= 3 {
+			return Event{}, false
+		}
+		n++
+		return Event{PC: uint32(n), Value: uint32(n * 10)}, true
+	})
+	got := Collect(src, 0)
+	if len(got) != 3 || got[2].Value != 30 {
+		t.Errorf("Func source yielded %v", got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 17, 1000} {
+		tr := sampleTrace(n, int64(n))
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("n=%d: Write: %v", n, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: Read: %v", n, err)
+		}
+		if len(got) != len(tr) {
+			t.Fatalf("n=%d: got %d events, want %d", n, len(got), len(tr))
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				t.Fatalf("n=%d: event %d = %+v, want %+v", n, i, got[i], tr[i])
+			}
+		}
+	}
+}
+
+func TestFileRoundTripQuick(t *testing.T) {
+	prop := func(pcs, vals []uint32) bool {
+		n := len(pcs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		tr := make(Trace, n)
+		for i := 0; i < n; i++ {
+			tr[i] = Event{PC: pcs[i], Value: vals[i]}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE....."))); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFileTruncated(t *testing.T) {
+	tr := sampleTrace(100, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 2, 5, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("Read of %d/%d bytes succeeded, want error", cut, len(raw))
+		}
+	}
+}
+
+func TestFileCompression(t *testing.T) {
+	// The delta encoding should beat 8 bytes/event on realistic traces.
+	tr := sampleTrace(10000, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if perEvent := float64(buf.Len()) / float64(len(tr)); perEvent > 8 {
+		t.Errorf("encoding uses %.1f bytes/event, want < 8", perEvent)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := Trace{
+		{PC: 0x40, Value: 1}, {PC: 0x44, Value: 2},
+		{PC: 0x40, Value: 3}, {PC: 0x48, Value: 4},
+	}
+	got := Collect(Filter(NewReader(tr), func(e Event) bool { return e.PC == 0x40 }), 0)
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 3 {
+		t.Errorf("filtered = %v", got)
+	}
+	// Filtering everything out terminates cleanly.
+	none := Collect(Filter(NewReader(tr), func(Event) bool { return false }), 0)
+	if len(none) != 0 {
+		t.Errorf("expected empty, got %v", none)
+	}
+}
