@@ -1,0 +1,30 @@
+# Verify loop for the repo. `make verify` is the default gate for any
+# change: the tier-1 build+test pass (ROADMAP.md), go vet, and the
+# race detector over the concurrent packages (internal/serve is the
+# first concurrent code in the repo; its tests — and the cmd tests
+# that drive a live server — must stay race-clean).
+
+GO ?= go
+
+.PHONY: verify build test vet race bench serve-bench
+
+verify: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./cmd/vpserve/... ./cmd/vploadgen/...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Per-op predictor baselines for the serving hot path.
+serve-bench:
+	$(GO) test -bench=PredictUpdate -benchmem ./internal/core/

@@ -72,6 +72,13 @@ func BenchmarkAblationMeta(b *testing.B)  { runExperiment(b, "ablation-meta", sm
 func BenchmarkAblationIndex(b *testing.B) { runExperiment(b, "ablation-index", smallCfg) }
 
 // --- microbenchmarks: predictor update throughput ---
+//
+// These drive predictors through the experiment-shaped loop
+// (trace-replay with the workload package). The per-operation
+// baselines for the serving hot path — one Predict+Update round trip
+// in isolation — live next to the predictors as
+// internal/core.Benchmark*_PredictUpdate; compare against those when
+// chasing internal/serve throughput regressions.
 
 func benchPredictor(b *testing.B, p core.Predictor) {
 	b.Helper()

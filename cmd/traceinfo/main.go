@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/progs"
@@ -18,41 +19,65 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark to trace instead of reading a file")
-	budget := flag.Uint64("budget", 1_000_000, "instruction budget when tracing a benchmark")
-	top := flag.Int("top", 10, "number of hottest PCs to list")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var tr trace.Trace
-	var err error
-	switch {
-	case *bench != "":
-		tr, err = progs.TraceFor(*bench, *budget)
-	case flag.NArg() == 1:
-		var f *os.File
-		f, err = os.Open(flag.Arg(0))
-		if err == nil {
-			defer f.Close()
-			tr, err = trace.ReadAuto(f)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-top N] <file.vtr> | traceinfo -bench <name>")
-		os.Exit(2)
+// run is the testable body of main: parse args, load the trace, print
+// the summary, return the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "benchmark to trace instead of reading a file")
+	budget := fs.Uint64("budget", 1_000_000, "instruction budget when tracing a benchmark")
+	top := fs.Int("top", 10, "number of hottest PCs to list")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+
+	tr, err := loadTrace(fs, *bench, *budget)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		if err == errUsage {
+			fmt.Fprintln(stderr, "usage: traceinfo [-top N] <file.vtr> | traceinfo -bench <name>")
+			return 2
+		}
+		fmt.Fprintln(stderr, "traceinfo:", err)
+		return 1
 	}
+	writeSummary(stdout, tr, *top)
+	return 0
+}
 
-	st := trace.Summarize(tr, *top)
-	fmt.Printf("events:        %d\n", st.Events)
-	fmt.Printf("distinct PCs:  %d\n", st.DistinctPCs)
-	fmt.Printf("constant frac: %.4f (last-value predictable)\n", st.ConstantFrac)
-	fmt.Printf("stride frac:   %.4f (stride predictable)\n", st.StrideFrac)
+var errUsage = fmt.Errorf("traceinfo: bad arguments")
+
+// loadTrace resolves the trace from the -bench flag or the single
+// positional file argument.
+func loadTrace(fs *flag.FlagSet, bench string, budget uint64) (trace.Trace, error) {
+	switch {
+	case bench != "":
+		return progs.TraceFor(bench, budget)
+	case fs.NArg() == 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAuto(f)
+	default:
+		return nil, errUsage
+	}
+}
+
+// writeSummary prints the trace statistics block.
+func writeSummary(w io.Writer, tr trace.Trace, top int) {
+	st := trace.Summarize(tr, top)
+	fmt.Fprintf(w, "events:        %d\n", st.Events)
+	fmt.Fprintf(w, "distinct PCs:  %d\n", st.DistinctPCs)
+	fmt.Fprintf(w, "constant frac: %.4f (last-value predictable)\n", st.ConstantFrac)
+	fmt.Fprintf(w, "stride frac:   %.4f (stride predictable)\n", st.StrideFrac)
 	if len(st.TopPCs) > 0 {
-		fmt.Printf("\n%-12s %10s %10s\n", "pc", "events", "values")
+		fmt.Fprintf(w, "\n%-12s %10s %10s\n", "pc", "events", "values")
 		for _, p := range st.TopPCs {
-			fmt.Printf("%#-12x %10d %10d\n", p.PC, p.Count, p.Values)
+			fmt.Fprintf(w, "%#-12x %10d %10d\n", p.PC, p.Count, p.Values)
 		}
 	}
 }

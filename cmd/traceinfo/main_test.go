@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeTestTrace generates a small deterministic trace and writes it
+// as a VTR1 file: one constant PC, one striding PC.
+func writeTestTrace(t *testing.T) (string, trace.Trace) {
+	t.Helper()
+	var tr trace.Trace
+	for i := 0; i < 50; i++ {
+		tr = append(tr,
+			trace.Event{PC: 0x1000, Value: 7},
+			trace.Event{PC: 0x1004, Value: uint32(i) * 4},
+		)
+	}
+	path := filepath.Join(t.TempDir(), "t.vtr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, tr
+}
+
+func TestRunOnTraceFile(t *testing.T) {
+	path, _ := writeTestTrace(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-top", "2", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"events:        100",
+		"distinct PCs:  2",
+		"0x1000",
+		"0x1004",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Half the events are the constant instruction; its repeats count
+	// as constant-predictable.
+	if !strings.Contains(got, "constant frac: 0.49") {
+		t.Errorf("unexpected constant frac in:\n%s", got)
+	}
+}
+
+func TestRunOnBenchmark(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench", "li", "-budget", "20000", "-top", "3"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "events:") {
+		t.Errorf("no summary in output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("no usage message: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"/nonexistent.vtr"}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit code %d, want 1", code)
+	}
+	if code := run([]string{"-bench", "bogus"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown benchmark: exit code %d, want 1", code)
+	}
+	// A non-trace file fails cleanly.
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(junk, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{junk}, &out, &errOut); code != 1 {
+		t.Errorf("junk file: exit code %d, want 1", code)
+	}
+}

@@ -36,26 +36,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	var p core.Predictor
-	switch *kind {
-	case "lvp":
-		p = core.NewLastValue(*l1)
-	case "stride":
-		p = core.NewStride(*l1)
-	case "2delta":
-		p = core.NewTwoDelta(*l1)
-	case "fcm":
-		p = core.NewFCM(*l1, *l2)
-	case "dfcm":
-		p = core.NewDFCMWidth(*l1, *l2, *width)
-	case "hybrid":
-		p = core.NewPerfectHybrid(core.NewStride(*l1), core.NewFCM(*l1, *l2))
-	default:
-		fmt.Fprintf(os.Stderr, "vpredict: unknown predictor %q\n", *kind)
+	// The spec is the same mapping cmd/vpserve uses, so an offline run
+	// with these flags reproduces a served session's hit counts.
+	spec := core.Spec{Kind: *kind, L1: *l1, L2: *l2, Width: *width, Delay: *delay}
+	p, err := spec.New()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpredict:", err)
 		os.Exit(2)
-	}
-	if *delay > 0 {
-		p = core.NewDelayed(p, *delay)
 	}
 
 	res := core.Run(p, trace.NewReader(tr))

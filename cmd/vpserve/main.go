@@ -1,0 +1,132 @@
+// Command vpserve serves the internal/core value predictors over the
+// VP1 wire protocol: per-session predictor state, a sharded engine,
+// and an optional HTTP stats endpoint. The predictor configuration
+// uses the same flags as cmd/vpredict, so an offline replay with
+// identical flags reproduces a session's hit counts exactly.
+//
+// Usage:
+//
+//	vpserve -addr :9177 -predictor dfcm -l1 16 -l2 12
+//	vpserve -addr :9177 -http :9178 -shards 8 -predictor hybrid -l1 14 -l2 12
+//
+// SIGINT/SIGTERM drain the server gracefully: the listener closes
+// immediately, connected clients are served until they disconnect or
+// the drain timeout expires.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+type options struct {
+	addr     string
+	httpAddr string
+	spec     core.Spec
+	engine   serve.Config
+	server   serve.ServerConfig
+	drain    time.Duration
+}
+
+// parseFlags binds the option set to fs and returns the destination
+// struct; separated from main so tests can drive it.
+func parseFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":9177", "TCP listen address for the predictor protocol")
+	fs.StringVar(&o.httpAddr, "http", "", "optional HTTP listen address for JSON stats (empty disables)")
+	fs.StringVar(&o.spec.Kind, "predictor", "dfcm", "lvp | stride | 2delta | fcm | dfcm | hybrid")
+	fs.UintVar(&o.spec.L1, "l1", 16, "log2 of the level-1 (or only) table entries")
+	fs.UintVar(&o.spec.L2, "l2", 12, "log2 of the level-2 table entries (fcm/dfcm/hybrid)")
+	fs.UintVar(&o.spec.Width, "width", 32, "stored stride width in bits (dfcm)")
+	fs.IntVar(&o.spec.Delay, "delay", 0, "update delay in predictions")
+	fs.IntVar(&o.engine.Shards, "shards", 0, "shard goroutines (0 = GOMAXPROCS)")
+	fs.IntVar(&o.engine.MailboxDepth, "mailbox", 128, "bounded queue depth per shard")
+	fs.IntVar(&o.engine.MaxSessions, "max-sessions", 4096, "live session cap across shards")
+	fs.DurationVar(&o.server.ReadTimeout, "read-timeout", 60*time.Second, "per-connection idle read deadline")
+	fs.DurationVar(&o.server.WriteTimeout, "write-timeout", 10*time.Second, "per-response write deadline")
+	fs.IntVar(&o.server.MaxFrame, "max-frame", serve.DefaultMaxFrame, "maximum request frame payload in bytes")
+	fs.DurationVar(&o.drain, "drain", 10*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
+	return o
+}
+
+// newServer validates the options and builds the engine and server.
+func newServer(o *options) (*serve.Server, error) {
+	// Probe the spec once so a bad flag combination fails at startup,
+	// not on the first session.
+	if _, err := o.spec.New(); err != nil {
+		return nil, fmt.Errorf("predictor spec: %w", err)
+	}
+	cfg := o.engine
+	cfg.NewPredictor = func() core.Predictor {
+		p, err := o.spec.New()
+		if err != nil {
+			panic("vpserve: spec validated at startup cannot fail: " + err.Error())
+		}
+		return p
+	}
+	engine, err := serve.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewServer(engine, o.server), nil
+}
+
+func main() {
+	o := parseFlags(flag.CommandLine)
+	flag.Parse()
+
+	srv, err := newServer(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpserve:", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("vpserve: serving %s on %s", srv.Engine().Snapshot().Predictor, ln.Addr())
+
+	if o.httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", serve.StatsHandler(srv.Engine()))
+		go func() {
+			if err := http.ListenAndServe(o.httpAddr, mux); err != nil {
+				log.Printf("vpserve: http stats listener: %v", err)
+			}
+		}()
+		log.Printf("vpserve: stats on http://%s/stats", o.httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("vpserve: %v: draining (timeout %v)", s, o.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("vpserve: drain incomplete: %v", err)
+		}
+		st := srv.Engine().Snapshot()
+		log.Printf("vpserve: served %d predictions (%.4f hit rate), %d sessions",
+			st.Predictions, st.HitRate, st.Sessions)
+	case err := <-done:
+		fmt.Fprintln(os.Stderr, "vpserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func optionsFromArgs(t *testing.T, args ...string) *options {
+	t.Helper()
+	fs := flag.NewFlagSet("vpserve", flag.ContinueOnError)
+	o := parseFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewServerRejectsBadSpec(t *testing.T) {
+	for _, args := range [][]string{
+		{"-predictor", "oracle"},
+		{"-predictor", "dfcm", "-l1", "60"},
+		{"-predictor", "dfcm", "-width", "99"},
+	} {
+		if _, err := newServer(optionsFromArgs(t, args...)); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestServerBootAndServe(t *testing.T) {
+	o := optionsFromArgs(t, "-predictor", "dfcm", "-l1", "10", "-l2", "10", "-shards", "2")
+	srv, err := newServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c, err := serve.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hits, st, err := c.RunBatch(1, trace.Trace{{PC: 0x40, Value: 0}, {PC: 0x40, Value: 0}})
+	if err != nil || st != serve.StatusOK {
+		t.Fatalf("RunBatch: %v %v", st, err)
+	}
+	if hits != 2 { // zero-initialized DFCM predicts 0 for the zero history
+		t.Errorf("hits = %d, want 2", hits)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Predictor != "dfcm-2^10/2^10" || stats.Shards != 2 {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c.Close()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

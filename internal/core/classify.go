@@ -123,6 +123,17 @@ func (p *Classified) Unpredictable() float64 {
 	return float64(un) / float64(done)
 }
 
+// Reset implements Resetter: every instruction re-enters its training
+// window and all components are cleared.
+func (p *Classified) Reset() {
+	for i := range p.state {
+		p.state[i] = classifyState{assigned: -1}
+	}
+	for _, c := range p.comps {
+		mustReset(c)
+	}
+}
+
 // Name implements Predictor.
 func (p *Classified) Name() string {
 	return fmt.Sprintf("classify2^%d/w%d", p.bits, p.window)

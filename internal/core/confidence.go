@@ -117,6 +117,12 @@ func (c *CounterConfidence) Update(pc, value uint32) {
 	c.p.Update(pc, value)
 }
 
+// Reset implements Resetter.
+func (c *CounterConfidence) Reset() {
+	clear(c.counters)
+	mustReset(c.p)
+}
+
 // Name implements Predictor.
 func (c *CounterConfidence) Name() string {
 	return fmt.Sprintf("%s+ctr2^%d(t%d)", c.p.Name(), c.bits, c.threshold)
@@ -220,6 +226,15 @@ func (h *HashTag) Update(pc, value uint32) {
 	h.hist[i] = h.h2.Update(h.hist[i], input)
 }
 
+// Reset implements Resetter: the second-hash histories, stored tags
+// and the wrapped predictor all return to their initial state.
+func (h *HashTag) Reset() {
+	clear(h.hist)
+	clear(h.tags)
+	clear(h.valid)
+	mustReset(h.p)
+}
+
 // Name implements Predictor.
 func (h *HashTag) Name() string {
 	return fmt.Sprintf("%s+tag%d(%s)", h.p.Name(), h.tagBits, h.h2.Name())
@@ -283,6 +298,13 @@ func (c *Combined) Update(pc, value uint32) {
 	}
 	// Tag bookkeeping updates the shared predictor itself.
 	c.tag.Update(pc, value)
+}
+
+// Reset implements Resetter: the tag reset also resets the shared
+// predictor, so only the counter table remains to clear.
+func (c *Combined) Reset() {
+	c.tag.Reset()
+	clear(c.ctr.counters)
 }
 
 // Name implements Predictor.

@@ -74,6 +74,14 @@ func (d *Delayed) Flush() {
 	d.head = 0
 }
 
+// Reset implements Resetter: the pending queue is discarded (not
+// applied) and the wrapped predictor is reset.
+func (d *Delayed) Reset() {
+	d.pending = d.pending[:0]
+	d.head = 0
+	mustReset(d.p)
+}
+
 // Name implements Predictor.
 func (d *Delayed) Name() string { return fmt.Sprintf("%s@delay%d", d.p.Name(), d.delay) }
 

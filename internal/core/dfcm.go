@@ -142,6 +142,12 @@ func (p *DFCM) Order() int { return p.h.Order() }
 // StrideBits returns the width of strides stored in the level-2 table.
 func (p *DFCM) StrideBits() uint { return p.strideBits }
 
+// Reset implements Resetter.
+func (p *DFCM) Reset() {
+	clear(p.l1)
+	clear(p.l2)
+}
+
 // Name implements Predictor.
 func (p *DFCM) Name() string {
 	if p.strideBits != 32 {

@@ -83,6 +83,12 @@ func (p *FCM) HistoryInput(pc, value uint32) uint64 { return uint64(value) }
 // Order returns the number of history values influencing a prediction.
 func (p *FCM) Order() int { return p.h.Order() }
 
+// Reset implements Resetter.
+func (p *FCM) Reset() {
+	clear(p.l1)
+	clear(p.l2)
+}
+
 // Name implements Predictor.
 func (p *FCM) Name() string { return fmt.Sprintf("fcm-2^%d/2^%d", p.l1bits, p.l2bits) }
 

@@ -56,6 +56,13 @@ func (p *PerfectHybrid) Update(pc, value uint32) {
 	}
 }
 
+// Reset implements Resetter by resetting every component.
+func (p *PerfectHybrid) Reset() {
+	for _, c := range p.comps {
+		mustReset(c)
+	}
+}
+
 // Name implements Predictor, e.g. "perfect(stride-2^16+fcm-2^16/2^12)".
 func (p *PerfectHybrid) Name() string {
 	names := make([]string, len(p.comps))
@@ -123,6 +130,14 @@ func (p *MetaHybrid) Update(pc, value uint32) {
 	}
 	p.a.Update(pc, value)
 	p.b.Update(pc, value)
+}
+
+// Reset implements Resetter: both components and the selection
+// counters return to their initial state.
+func (p *MetaHybrid) Reset() {
+	clear(p.counters)
+	mustReset(p.a)
+	mustReset(p.b)
 }
 
 // Name implements Predictor.

@@ -90,6 +90,14 @@ func (p *LastN) Update(pc, value uint32) {
 	slots[vi] = lastNSlot{value: value, conf: 1, age: p.clock}
 }
 
+// Reset implements Resetter.
+func (p *LastN) Reset() {
+	for _, slots := range p.table {
+		clear(slots)
+	}
+	p.clock = 0
+}
+
 // Name implements Predictor.
 func (p *LastN) Name() string { return fmt.Sprintf("last%d-2^%d", p.n, p.bits) }
 

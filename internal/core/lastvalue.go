@@ -30,6 +30,9 @@ func (p *LastValue) Update(pc, value uint32) {
 	p.table[pcIndex(pc, p.bits)] = value
 }
 
+// Reset implements Resetter.
+func (p *LastValue) Reset() { clear(p.table) }
+
 // Name implements Predictor.
 func (p *LastValue) Name() string { return fmt.Sprintf("lvp-2^%d", p.bits) }
 

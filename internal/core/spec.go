@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// Spec describes a predictor configuration in the flag vocabulary
+// shared by cmd/vpredict and cmd/vpserve (-predictor/-l1/-l2/-width/
+// -delay). Keeping the mapping here guarantees that an online serving
+// session and an offline replay built from the same flags run the
+// exact same predictor — the property the end-to-end equivalence test
+// relies on.
+type Spec struct {
+	Kind  string // lvp | stride | 2delta | fcm | dfcm | hybrid
+	L1    uint   // log2 of the level-1 (or only) table entries
+	L2    uint   // log2 of the level-2 table entries (fcm/dfcm/hybrid)
+	Width uint   // stored stride width in bits (dfcm); 0 means 32
+	Delay int    // update delay in predictions; 0 disables
+}
+
+// New builds a fresh predictor from the spec. Unlike the constructors,
+// which panic on out-of-range parameters (programming errors), New
+// validates and returns an error, since specs typically arrive from
+// flags or a network peer.
+func (s Spec) New() (Predictor, error) {
+	if s.L1 > 30 {
+		return nil, fmt.Errorf("level-1 width %d out of range [0,30]", s.L1)
+	}
+	if s.L2 > 30 {
+		return nil, fmt.Errorf("level-2 width %d out of range [0,30]", s.L2)
+	}
+	width := s.Width
+	if width == 0 {
+		width = 32
+	}
+	if width > 32 {
+		return nil, fmt.Errorf("stride width %d out of range [1,32]", s.Width)
+	}
+	if s.Delay < 0 {
+		return nil, fmt.Errorf("negative update delay %d", s.Delay)
+	}
+	var p Predictor
+	switch s.Kind {
+	case "lvp":
+		p = NewLastValue(s.L1)
+	case "stride":
+		p = NewStride(s.L1)
+	case "2delta":
+		p = NewTwoDelta(s.L1)
+	case "fcm":
+		p = NewFCM(s.L1, s.L2)
+	case "dfcm":
+		p = NewDFCMWidth(s.L1, s.L2, width)
+	case "hybrid":
+		p = NewPerfectHybrid(NewStride(s.L1), NewFCM(s.L1, s.L2))
+	default:
+		return nil, fmt.Errorf("unknown predictor %q", s.Kind)
+	}
+	if s.Delay > 0 {
+		p = NewDelayed(p, s.Delay)
+	}
+	return p, nil
+}

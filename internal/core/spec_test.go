@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecNewNames(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		name string
+	}{
+		{Spec{Kind: "lvp", L1: 10}, "lvp-2^10"},
+		{Spec{Kind: "stride", L1: 12}, "stride-2^12"},
+		{Spec{Kind: "2delta", L1: 12}, "2delta-2^12"},
+		{Spec{Kind: "fcm", L1: 10, L2: 8}, "fcm-2^10/2^8"},
+		{Spec{Kind: "dfcm", L1: 10, L2: 8}, "dfcm-2^10/2^8"},
+		{Spec{Kind: "dfcm", L1: 10, L2: 8, Width: 8}, "dfcm-2^10/2^8/w8"},
+		{Spec{Kind: "hybrid", L1: 10, L2: 8}, "perfect(stride-2^10+fcm-2^10/2^8)"},
+		{Spec{Kind: "dfcm", L1: 10, L2: 8, Delay: 64}, "dfcm-2^10/2^8@delay64"},
+	}
+	for _, c := range cases {
+		p, err := c.spec.New()
+		if err != nil {
+			t.Errorf("%+v: %v", c.spec, err)
+			continue
+		}
+		if p.Name() != c.name {
+			t.Errorf("%+v built %q, want %q", c.spec, p.Name(), c.name)
+		}
+	}
+}
+
+func TestSpecNewErrors(t *testing.T) {
+	bad := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Kind: "oracle", L1: 10}, "unknown predictor"},
+		{Spec{Kind: "dfcm", L1: 40, L2: 8}, "level-1"},
+		{Spec{Kind: "dfcm", L1: 10, L2: 40}, "level-2"},
+		{Spec{Kind: "dfcm", L1: 10, L2: 8, Width: 40}, "stride width"},
+		{Spec{Kind: "dfcm", L1: 10, L2: 8, Delay: -1}, "delay"},
+	}
+	for _, c := range bad {
+		if _, err := c.spec.New(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%+v: error %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// TestSpecBuiltAreResettable: every predictor a Spec can build must be
+// recyclable in place — internal/serve depends on it.
+func TestSpecBuiltAreResettable(t *testing.T) {
+	for _, kind := range []string{"lvp", "stride", "2delta", "fcm", "dfcm", "hybrid"} {
+		p, err := Spec{Kind: kind, L1: 8, L2: 8, Delay: 4}.New()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if _, ok := p.(Resetter); !ok {
+			t.Errorf("%s-built predictor %s is not resettable", kind, p.Name())
+		}
+	}
+}

@@ -72,6 +72,9 @@ func (p *Stride) Update(pc, value uint32) {
 	e.last = value
 }
 
+// Reset implements Resetter.
+func (p *Stride) Reset() { clear(p.table) }
+
 // Name implements Predictor.
 func (p *Stride) Name() string { return fmt.Sprintf("stride-2^%d", p.bits) }
 
@@ -121,6 +124,9 @@ func (p *TwoDelta) Update(pc, value uint32) {
 	e.s2 = stride
 	e.last = value
 }
+
+// Reset implements Resetter.
+func (p *TwoDelta) Reset() { clear(p.table) }
 
 // Name implements Predictor.
 func (p *TwoDelta) Name() string { return fmt.Sprintf("2delta-2^%d", p.bits) }

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Client is a VP1 protocol client over one TCP connection. Requests
+// are serialized (one in flight per connection); use one Client per
+// goroutine — or per concurrent stream — the way cmd/vploadgen does.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+// Dial connects to a vpserve at addr with a 10s I/O timeout per
+// request.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects to addr; timeout bounds the dial and each
+// request round trip.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		timeout: timeout,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip writes one request frame and reads its response payload.
+func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := writeFrame(c.bw, op, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	respOp, respPayload, err := readFrame(c.br, DefaultMaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if respOp != op|respFlag {
+		return nil, fmt.Errorf("serve: response op %#x for request %#x", respOp, op)
+	}
+	return respPayload, nil
+}
+
+// PredictBatch asks the server for the session's predictions for pcs.
+// On StatusBusy/StatusClosed the values are nil: the caller proceeds
+// without a prediction.
+func (c *Client) PredictBatch(session uint64, pcs []uint32) ([]uint32, Status, error) {
+	p, err := c.roundTrip(OpPredictBatch, encodePredictReq(session, pcs))
+	if err != nil {
+		return nil, 0, err
+	}
+	st, values, err := decodePredictResp(p)
+	return values, st, err
+}
+
+// UpdateBatch trains the session with the outcomes.
+func (c *Client) UpdateBatch(session uint64, events []trace.Event) (Status, error) {
+	p, err := c.roundTrip(OpUpdateBatch, encodeEventReq(session, events))
+	if err != nil {
+		return 0, err
+	}
+	return decodeStatusResp(p)
+}
+
+// RunBatch replays the events through the session's predictor with
+// the offline predict-compare-update loop and returns the hit count.
+func (c *Client) RunBatch(session uint64, events []trace.Event) (hits uint32, st Status, err error) {
+	p, err := c.roundTrip(OpRunBatch, encodeEventReq(session, events))
+	if err != nil {
+		return 0, 0, err
+	}
+	st, hits, err = decodeRunResp(p)
+	return hits, st, err
+}
+
+// Stats fetches the engine's stats snapshot.
+func (c *Client) Stats() (Stats, error) {
+	p, err := c.roundTrip(OpStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, body, err := decodeStatsResp(p)
+	if err != nil {
+		return Stats{}, err
+	}
+	if st != StatusOK {
+		return Stats{}, fmt.Errorf("serve: stats request answered %v", st)
+	}
+	var stats Stats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return Stats{}, fmt.Errorf("serve: decoding stats: %w", err)
+	}
+	return stats, nil
+}
+
+// ResetSession clears the session's learned state on the server.
+func (c *Client) ResetSession(session uint64) (Status, error) {
+	p, err := c.roundTrip(OpResetSession, encodeSessionReq(session))
+	if err != nil {
+		return 0, err
+	}
+	return decodeStatusResp(p)
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// NewPredictor builds the predictor backing one session. Required.
+	// Each call must return a fresh, independent instance.
+	NewPredictor func() core.Predictor
+	// Shards is the number of independent shard goroutines. Sessions
+	// are assigned to shards by hashing the session ID, so sessions on
+	// different shards never contend. 0 selects GOMAXPROCS.
+	Shards int
+	// MailboxDepth bounds each shard's request queue. A full mailbox
+	// is backpressure: the request is answered StatusBusy immediately
+	// ("no prediction") instead of blocking the connection. 0 selects
+	// 128.
+	MailboxDepth int
+	// MaxSessions caps live sessions across all shards; session
+	// creation beyond the cap is answered StatusBusy. 0 selects 4096.
+	MaxSessions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 128
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	return c
+}
+
+// Stats is an engine-level snapshot, served over the protocol's Stats
+// op and as JSON on the optional HTTP listener.
+type Stats struct {
+	Predictor   string       `json:"predictor"`
+	Shards      int          `json:"shards"`
+	Sessions    int          `json:"sessions"`
+	Predictions uint64       `json:"predictions"`
+	Hits        uint64       `json:"hits"`
+	HitRate     float64      `json:"hit_rate"`
+	Updates     uint64       `json:"updates"`
+	Resets      uint64       `json:"resets"`
+	Dropped     uint64       `json:"dropped"` // requests shed by backpressure
+	QueueDepth  int          `json:"queue_depth"`
+	ShardStats  []ShardStats `json:"shard_stats"`
+}
+
+// ShardStats is the per-shard slice of a Stats snapshot.
+type ShardStats struct {
+	Sessions    int    `json:"sessions"` // occupancy
+	Predictions uint64 `json:"predictions"`
+	QueueDepth  int    `json:"queue_depth"`
+}
+
+// request is one unit of shard work. Exactly one of pcs/events is set
+// for the batch ops; reply is buffered so the shard never blocks on a
+// departed caller.
+type request struct {
+	op      byte
+	session uint64
+	pcs     []uint32
+	events  []trace.Event
+	reply   chan response
+}
+
+type response struct {
+	status Status
+	values []uint32
+	hits   uint32
+}
+
+// session is the per-client predictor state owned by one shard.
+type session struct {
+	p core.Predictor
+}
+
+// shard owns a disjoint set of sessions and processes their requests
+// sequentially on its own goroutine, so predictor state needs no
+// locks. Counters are atomics because Snapshot reads them from
+// outside the goroutine.
+type shard struct {
+	mail     chan request
+	sessions map[uint64]*session
+
+	predictions atomic.Uint64
+	hits        atomic.Uint64
+	updates     atomic.Uint64
+	resets      atomic.Uint64
+	occupancy   atomic.Int64
+}
+
+// Engine is the sharded session store at the heart of the service.
+// All exported methods are safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	name     string // predictor config name, for stats
+	shards   []*shard
+	sessions atomic.Int64 // live sessions across shards
+	dropped  atomic.Uint64
+
+	mu     sync.RWMutex // guards closed against in-flight submits
+	closed bool
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewEngine starts cfg.Shards shard goroutines and returns the
+// engine. Callers must Close it to stop them.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NewPredictor == nil {
+		return nil, fmt.Errorf("serve: Config.NewPredictor is required")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		name:   cfg.NewPredictor().Name(),
+		shards: make([]*shard, cfg.Shards),
+		quit:   make(chan struct{}),
+	}
+	for i := range e.shards {
+		s := &shard{
+			mail:     make(chan request, cfg.MailboxDepth),
+			sessions: make(map[uint64]*session),
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.run(s)
+	}
+	return e, nil
+}
+
+// shardFor assigns a session to a shard with a splitmix64 finalizer,
+// so adjacent session IDs (the common client choice) spread evenly.
+func (e *Engine) shardFor(session uint64) *shard {
+	x := session + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return e.shards[x%uint64(len(e.shards))]
+}
+
+// run is one shard's goroutine: process mail until quit, then drain
+// whatever is still queued so no caller is left waiting.
+func (e *Engine) run(s *shard) {
+	defer e.wg.Done()
+	for {
+		select {
+		case req := <-s.mail:
+			e.handle(s, req)
+		case <-e.quit:
+			for {
+				select {
+				case req := <-s.mail:
+					e.handle(s, req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// getSession returns the session, creating it if the cap allows.
+// Runs on the shard goroutine.
+func (e *Engine) getSession(s *shard, id uint64) *session {
+	if sess, ok := s.sessions[id]; ok {
+		return sess
+	}
+	if int(e.sessions.Load()) >= e.cfg.MaxSessions {
+		return nil
+	}
+	sess := &session{p: e.cfg.NewPredictor()}
+	s.sessions[id] = sess
+	e.sessions.Add(1)
+	s.occupancy.Add(1)
+	return sess
+}
+
+// handle executes one request on the shard goroutine.
+func (e *Engine) handle(s *shard, req request) {
+	sess := e.getSession(s, req.session)
+	if sess == nil {
+		req.reply <- response{status: StatusBusy}
+		return
+	}
+	switch req.op {
+	case OpPredictBatch:
+		values := make([]uint32, len(req.pcs))
+		for i, pc := range req.pcs {
+			values[i] = sess.p.Predict(pc)
+		}
+		s.predictions.Add(uint64(len(req.pcs)))
+		req.reply <- response{status: StatusOK, values: values}
+	case OpUpdateBatch:
+		hits := uint64(0)
+		for _, ev := range req.events {
+			if sess.p.Predict(ev.PC) == ev.Value {
+				hits++
+			}
+			sess.p.Update(ev.PC, ev.Value)
+		}
+		s.hits.Add(hits)
+		s.updates.Add(uint64(len(req.events)))
+		req.reply <- response{status: StatusOK}
+	case OpRunBatch:
+		// The offline predict-compare-update loop, mirroring core.Run
+		// (including the Scorer fast path), so a served replay is
+		// bit-equivalent to cmd/vpredict on the same spec.
+		hits := uint32(0)
+		if sc, ok := sess.p.(core.Scorer); ok {
+			for _, ev := range req.events {
+				if sc.Score(ev.PC, ev.Value) {
+					hits++
+				}
+			}
+		} else {
+			for _, ev := range req.events {
+				if sess.p.Predict(ev.PC) == ev.Value {
+					hits++
+				}
+				sess.p.Update(ev.PC, ev.Value)
+			}
+		}
+		s.predictions.Add(uint64(len(req.events)))
+		s.hits.Add(uint64(hits))
+		s.updates.Add(uint64(len(req.events)))
+		req.reply <- response{status: StatusOK, hits: hits}
+	case OpResetSession:
+		if !core.TryReset(sess.p) {
+			sess.p = e.cfg.NewPredictor()
+		}
+		s.resets.Add(1)
+		req.reply <- response{status: StatusOK}
+	default:
+		req.reply <- response{status: StatusBadRequest}
+	}
+}
+
+// submit routes a request to its shard with backpressure: a full
+// mailbox degrades to StatusBusy instead of blocking. The read lock
+// is held until the reply arrives, which lets Close wait for every
+// in-flight request before stopping the shards.
+func (e *Engine) submit(req request) response {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return response{status: StatusClosed}
+	}
+	s := e.shardFor(req.session)
+	req.reply = make(chan response, 1)
+	select {
+	case s.mail <- req:
+		return <-req.reply
+	default:
+		e.dropped.Add(1)
+		return response{status: StatusBusy}
+	}
+}
+
+// PredictBatch returns the session predictor's predictions for pcs,
+// in order, against the table state at batch start.
+func (e *Engine) PredictBatch(sessionID uint64, pcs []uint32) ([]uint32, Status) {
+	r := e.submit(request{op: OpPredictBatch, session: sessionID, pcs: pcs})
+	return r.values, r.status
+}
+
+// UpdateBatch trains the session predictor with the outcomes, in
+// order.
+func (e *Engine) UpdateBatch(sessionID uint64, events []trace.Event) Status {
+	return e.submit(request{op: OpUpdateBatch, session: sessionID, events: events}).status
+}
+
+// RunBatch performs predict-compare-update per event, in order, and
+// returns the number of correct predictions.
+func (e *Engine) RunBatch(sessionID uint64, events []trace.Event) (hits uint32, st Status) {
+	r := e.submit(request{op: OpRunBatch, session: sessionID, events: events})
+	return r.hits, r.status
+}
+
+// ResetSession clears the session's learned state in place (the
+// session stays allocated). Resetting an untouched session creates
+// it.
+func (e *Engine) ResetSession(sessionID uint64) Status {
+	return e.submit(request{op: OpResetSession, session: sessionID}).status
+}
+
+// Snapshot collects the engine-level stats. Counters are read with
+// relaxed ordering — a snapshot taken during traffic is approximate
+// by nature.
+func (e *Engine) Snapshot() Stats {
+	st := Stats{
+		Predictor:  e.name,
+		Shards:     len(e.shards),
+		Sessions:   int(e.sessions.Load()),
+		Dropped:    e.dropped.Load(),
+		ShardStats: make([]ShardStats, len(e.shards)),
+	}
+	for i, s := range e.shards {
+		ss := ShardStats{
+			Sessions:    int(s.occupancy.Load()),
+			Predictions: s.predictions.Load(),
+			QueueDepth:  len(s.mail),
+		}
+		st.ShardStats[i] = ss
+		st.Predictions += ss.Predictions
+		st.Hits += s.hits.Load()
+		st.Updates += s.updates.Load()
+		st.Resets += s.resets.Load()
+		st.QueueDepth += ss.QueueDepth
+	}
+	if st.Predictions > 0 {
+		st.HitRate = float64(st.Hits) / float64(st.Predictions)
+	}
+	return st
+}
+
+// StatsJSON renders a snapshot as JSON (expvar-style; also the Stats
+// op's response body).
+func (e *Engine) StatsJSON() []byte {
+	b, err := json.Marshal(e.Snapshot())
+	if err != nil {
+		// Stats contains only marshalable fields; keep the protocol
+		// alive even if that ever changes.
+		return []byte(`{"error":"stats marshal failed"}`)
+	}
+	return b
+}
+
+// Close drains in-flight requests and stops the shard goroutines.
+// Requests arriving after Close are answered StatusClosed. Close is
+// idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.quit)
+	e.wg.Wait()
+}

@@ -1,0 +1,313 @@
+// Package serve exposes the internal/core value predictors as a
+// concurrent network service: a length-prefixed binary wire protocol
+// over TCP, per-session predictor state keyed by client-chosen
+// session IDs, and a sharded engine (one goroutine per shard, bounded
+// mailboxes) so independent sessions never contend on one lock.
+//
+// # Wire protocol ("VP1")
+//
+// Every message — request or response — is one frame:
+//
+//	magic   uint16  0x5650 ("VP")
+//	version uint8   1
+//	op      uint8   request op, or op|0x80 for its response
+//	length  uint32  payload bytes (big-endian), bounded by MaxFrame
+//	payload length bytes
+//
+// All integers are big-endian. Request payloads begin with the
+// client-chosen 64-bit session ID where one applies. Response
+// payloads begin with a one-byte status.
+//
+//	PredictBatch (0x01) req:  session u64, count u32, count × pc u32
+//	             resp: status u8, count u32, count × value u32
+//	UpdateBatch  (0x02) req:  session u64, count u32, count × (pc u32, value u32)
+//	             resp: status u8
+//	RunBatch     (0x03) req:  session u64, count u32, count × (pc u32, value u32)
+//	             resp: status u8, hits u32
+//	Stats        (0x04) req:  empty
+//	             resp: status u8, JSON-encoded Stats
+//	ResetSession (0x05) req:  session u64
+//	             resp: status u8
+//
+// RunBatch performs the offline predict-compare-update loop
+// (core.Run) server-side, one event at a time in order, so a replay
+// through the server is event-for-event equivalent to an offline run
+// — including events in the same batch training their successors.
+// Split PredictBatch/UpdateBatch calls trade that strict equivalence
+// for pipelining: predictions within one batch all see the table
+// state at batch start.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Protocol constants.
+const (
+	protoMagic   = 0x5650 // "VP"
+	protoVersion = 1
+	headerSize   = 8
+
+	// respFlag marks a response frame's op byte.
+	respFlag = 0x80
+
+	// DefaultMaxFrame bounds the payload of a single frame; at 8
+	// bytes per event that is ~128k events per batch.
+	DefaultMaxFrame = 1 << 20
+)
+
+// Ops.
+const (
+	OpPredictBatch = 0x01
+	OpUpdateBatch  = 0x02
+	OpRunBatch     = 0x03
+	OpStats        = 0x04
+	OpResetSession = 0x05
+)
+
+// Status is the first byte of every response payload.
+type Status uint8
+
+// Statuses.
+const (
+	StatusOK         Status = 0 // request processed
+	StatusBusy       Status = 1 // shard mailbox full — no prediction made
+	StatusClosed     Status = 2 // engine draining or closed
+	StatusBadRequest Status = 3 // malformed or oversized request
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusClosed:
+		return "closed"
+	case StatusBadRequest:
+		return "bad-request"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Protocol errors.
+var (
+	ErrBadMagic   = errors.New("serve: bad frame magic")
+	ErrBadVersion = errors.New("serve: unsupported protocol version")
+	ErrFrameSize  = errors.New("serve: frame exceeds maximum size")
+	ErrTruncated  = errors.New("serve: truncated payload")
+)
+
+// writeFrame emits one frame. The payload may be nil.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint16(hdr[0:], protoMagic)
+	hdr[2] = protoVersion
+	hdr[3] = op
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, enforcing the magic, version and frame
+// size bound. maxFrame <= 0 selects DefaultMaxFrame.
+func readFrame(r io.Reader, maxFrame int) (op byte, payload []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != protoMagic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[2] != protoVersion {
+		return 0, nil, ErrBadVersion
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > uint32(maxFrame) {
+		return 0, nil, ErrFrameSize
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("serve: reading %d-byte payload: %w", n, err)
+	}
+	return hdr[3], payload, nil
+}
+
+// --- payload encoding -------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// encodePredictReq builds a PredictBatch request payload.
+func encodePredictReq(session uint64, pcs []uint32) []byte {
+	b := make([]byte, 0, 12+4*len(pcs))
+	b = appendU64(b, session)
+	b = appendU32(b, uint32(len(pcs)))
+	for _, pc := range pcs {
+		b = appendU32(b, pc)
+	}
+	return b
+}
+
+func decodePredictReq(p []byte) (session uint64, pcs []uint32, err error) {
+	if len(p) < 12 {
+		return 0, nil, ErrTruncated
+	}
+	session = binary.BigEndian.Uint64(p)
+	n := binary.BigEndian.Uint32(p[8:])
+	body := p[12:]
+	if uint64(len(body)) != 4*uint64(n) {
+		return 0, nil, ErrTruncated
+	}
+	pcs = make([]uint32, n)
+	for i := range pcs {
+		pcs[i] = binary.BigEndian.Uint32(body[4*i:])
+	}
+	return session, pcs, nil
+}
+
+// encodeEventReq builds an UpdateBatch or RunBatch request payload.
+func encodeEventReq(session uint64, events []trace.Event) []byte {
+	b := make([]byte, 0, 12+8*len(events))
+	b = appendU64(b, session)
+	b = appendU32(b, uint32(len(events)))
+	for _, e := range events {
+		b = appendU32(b, e.PC)
+		b = appendU32(b, e.Value)
+	}
+	return b
+}
+
+func decodeEventReq(p []byte) (session uint64, events []trace.Event, err error) {
+	if len(p) < 12 {
+		return 0, nil, ErrTruncated
+	}
+	session = binary.BigEndian.Uint64(p)
+	n := binary.BigEndian.Uint32(p[8:])
+	body := p[12:]
+	if uint64(len(body)) != 8*uint64(n) {
+		return 0, nil, ErrTruncated
+	}
+	events = make([]trace.Event, n)
+	for i := range events {
+		events[i].PC = binary.BigEndian.Uint32(body[8*i:])
+		events[i].Value = binary.BigEndian.Uint32(body[8*i+4:])
+	}
+	return session, events, nil
+}
+
+// encodeSessionReq builds a ResetSession request payload.
+func encodeSessionReq(session uint64) []byte {
+	return appendU64(make([]byte, 0, 8), session)
+}
+
+func decodeSessionReq(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// encodePredictResp builds a PredictBatch response payload. values is
+// ignored unless st is StatusOK.
+func encodePredictResp(st Status, values []uint32) []byte {
+	if st != StatusOK {
+		return []byte{byte(st)}
+	}
+	b := make([]byte, 0, 5+4*len(values))
+	b = append(b, byte(st))
+	b = appendU32(b, uint32(len(values)))
+	for _, v := range values {
+		b = appendU32(b, v)
+	}
+	return b
+}
+
+func decodePredictResp(p []byte) (Status, []uint32, error) {
+	if len(p) < 1 {
+		return 0, nil, ErrTruncated
+	}
+	st := Status(p[0])
+	if st != StatusOK {
+		return st, nil, nil
+	}
+	if len(p) < 5 {
+		return 0, nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(p[1:])
+	body := p[5:]
+	if uint64(len(body)) != 4*uint64(n) {
+		return 0, nil, ErrTruncated
+	}
+	values := make([]uint32, n)
+	for i := range values {
+		values[i] = binary.BigEndian.Uint32(body[4*i:])
+	}
+	return st, values, nil
+}
+
+// encodeStatusResp builds a status-only response payload.
+func encodeStatusResp(st Status) []byte { return []byte{byte(st)} }
+
+func decodeStatusResp(p []byte) (Status, error) {
+	if len(p) != 1 {
+		return 0, ErrTruncated
+	}
+	return Status(p[0]), nil
+}
+
+// encodeRunResp builds a RunBatch response payload.
+func encodeRunResp(st Status, hits uint32) []byte {
+	if st != StatusOK {
+		return []byte{byte(st)}
+	}
+	b := make([]byte, 0, 5)
+	b = append(b, byte(st))
+	return appendU32(b, hits)
+}
+
+func decodeRunResp(p []byte) (Status, uint32, error) {
+	if len(p) < 1 {
+		return 0, 0, ErrTruncated
+	}
+	st := Status(p[0])
+	if st != StatusOK {
+		return st, 0, nil
+	}
+	if len(p) != 5 {
+		return 0, 0, ErrTruncated
+	}
+	return st, binary.BigEndian.Uint32(p[1:]), nil
+}
+
+// encodeStatsResp builds a Stats response payload around a JSON body.
+func encodeStatsResp(st Status, body []byte) []byte {
+	b := make([]byte, 0, 1+len(body))
+	b = append(b, byte(st))
+	return append(b, body...)
+}
+
+func decodeStatsResp(p []byte) (Status, []byte, error) {
+	if len(p) < 1 {
+		return 0, nil, ErrTruncated
+	}
+	return Status(p[0]), p[1:], nil
+}

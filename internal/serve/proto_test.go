@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := writeFrame(&buf, OpRunBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err := readFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpRunBatch || !bytes.Equal(got, payload) {
+		t.Errorf("round trip: op=%#x payload=%v", op, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, OpStats, nil); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := readFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpStats || len(payload) != 0 {
+		t.Errorf("op=%#x len=%d", op, len(payload))
+	}
+}
+
+func TestFrameGuards(t *testing.T) {
+	// Bad magic.
+	if _, _, err := readFrame(bytes.NewReader([]byte("XXxxxxxx")), 0); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Bad version.
+	bad := []byte{0x56, 0x50, 99, OpStats, 0, 0, 0, 0}
+	if _, _, err := readFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Oversized frame rejected before allocating the payload.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, OpStats, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(&buf, 50); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("oversized: %v", err)
+	}
+	// Truncated payload.
+	buf.Reset()
+	if err := writeFrame(&buf, OpStats, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-10]
+	if _, _, err := readFrame(bytes.NewReader(short), 0); err == nil {
+		t.Error("truncated frame read succeeded")
+	}
+	// Truncated header.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0x56}), 0); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated header: %v", err)
+	}
+}
+
+func TestPredictReqRoundTrip(t *testing.T) {
+	pcs := []uint32{0x1000, 0x1004, 0xdeadbeef}
+	session, got, err := decodePredictReq(encodePredictReq(42, pcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session != 42 || !reflect.DeepEqual(got, pcs) {
+		t.Errorf("session=%d pcs=%v", session, got)
+	}
+	// Empty batch is legal.
+	if _, got, err := decodePredictReq(encodePredictReq(7, nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v %v", got, err)
+	}
+	// Count/body mismatch rejected.
+	bad := encodePredictReq(1, pcs)[:14]
+	if _, _, err := decodePredictReq(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("mismatched count: %v", err)
+	}
+	if _, _, err := decodePredictReq([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short payload: %v", err)
+	}
+}
+
+func TestEventReqRoundTrip(t *testing.T) {
+	events := []trace.Event{{PC: 0x40, Value: 9}, {PC: 0x44, Value: 0xffffffff}}
+	session, got, err := decodeEventReq(encodeEventReq(99, events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session != 99 || !reflect.DeepEqual(got, events) {
+		t.Errorf("session=%d events=%v", session, got)
+	}
+	bad := encodeEventReq(1, events)[:17]
+	if _, _, err := decodeEventReq(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("mismatched count: %v", err)
+	}
+}
+
+func TestSessionReqRoundTrip(t *testing.T) {
+	id, err := decodeSessionReq(encodeSessionReq(1 << 40))
+	if err != nil || id != 1<<40 {
+		t.Errorf("id=%d err=%v", id, err)
+	}
+	if _, err := decodeSessionReq([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short session req: %v", err)
+	}
+}
+
+func TestPredictRespRoundTrip(t *testing.T) {
+	values := []uint32{1, 2, 3}
+	st, got, err := decodePredictResp(encodePredictResp(StatusOK, values))
+	if err != nil || st != StatusOK || !reflect.DeepEqual(got, values) {
+		t.Errorf("st=%v values=%v err=%v", st, got, err)
+	}
+	// Non-OK statuses carry no values.
+	st, got, err = decodePredictResp(encodePredictResp(StatusBusy, values))
+	if err != nil || st != StatusBusy || got != nil {
+		t.Errorf("busy: st=%v values=%v err=%v", st, got, err)
+	}
+	if _, _, err := decodePredictResp(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty resp: %v", err)
+	}
+}
+
+func TestRunRespRoundTrip(t *testing.T) {
+	st, hits, err := decodeRunResp(encodeRunResp(StatusOK, 12345))
+	if err != nil || st != StatusOK || hits != 12345 {
+		t.Errorf("st=%v hits=%d err=%v", st, hits, err)
+	}
+	st, hits, err = decodeRunResp(encodeRunResp(StatusClosed, 777))
+	if err != nil || st != StatusClosed || hits != 0 {
+		t.Errorf("closed: st=%v hits=%d err=%v", st, hits, err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		StatusOK: "ok", StatusBusy: "busy", StatusClosed: "closed",
+		StatusBadRequest: "bad-request", Status(42): "status(42)",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ServerConfig parameterizes a Server. The zero value selects sane
+// defaults.
+type ServerConfig struct {
+	// ReadTimeout bounds the wait for the next request frame on a
+	// connection; an idle connection past it is closed. 0 selects 60s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response frame. 0 selects 10s.
+	WriteTimeout time.Duration
+	// MaxFrame bounds request payload size; an oversized frame closes
+	// the connection. 0 selects DefaultMaxFrame.
+	MaxFrame int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 60 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// Server accepts VP1 protocol connections and dispatches their frames
+// to an Engine.
+type Server struct {
+	engine *Engine
+	cfg    ServerConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	closed   bool
+	connWG   sync.WaitGroup
+}
+
+// NewServer wraps engine in a server. The engine's lifecycle belongs
+// to the server from here on: Shutdown/Close close it.
+func NewServer(engine *Engine, cfg ServerConfig) *Server {
+	return &Server{
+		engine: engine,
+		cfg:    cfg.withDefaults(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Engine returns the wrapped engine (for stats handlers and tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Serve accepts connections on ln until Shutdown or Close. It always
+// returns a non-nil error; after a clean shutdown the error is
+// net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection's request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		op, payload, err := readFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// EOF, timeout, oversized or malformed frame: drop the
+			// connection. The framing carries no frame IDs, so there
+			// is no way to resynchronize a corrupted stream.
+			return
+		}
+		respPayload := s.dispatch(op, payload)
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := writeFrame(bw, op|respFlag, respPayload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes one request, runs it on the engine, and encodes
+// the response payload. Malformed payloads produce StatusBadRequest
+// rather than killing the connection: the frame boundary is intact,
+// so the stream remains synchronized.
+func (s *Server) dispatch(op byte, payload []byte) []byte {
+	switch op {
+	case OpPredictBatch:
+		session, pcs, err := decodePredictReq(payload)
+		if err != nil {
+			return encodePredictResp(StatusBadRequest, nil)
+		}
+		values, st := s.engine.PredictBatch(session, pcs)
+		return encodePredictResp(st, values)
+	case OpUpdateBatch:
+		session, events, err := decodeEventReq(payload)
+		if err != nil {
+			return encodeStatusResp(StatusBadRequest)
+		}
+		return encodeStatusResp(s.engine.UpdateBatch(session, events))
+	case OpRunBatch:
+		session, events, err := decodeEventReq(payload)
+		if err != nil {
+			return encodeRunResp(StatusBadRequest, 0)
+		}
+		hits, st := s.engine.RunBatch(session, events)
+		return encodeRunResp(st, hits)
+	case OpStats:
+		return encodeStatsResp(StatusOK, s.engine.StatsJSON())
+	case OpResetSession:
+		session, err := decodeSessionReq(payload)
+		if err != nil {
+			return encodeStatusResp(StatusBadRequest)
+		}
+		return encodeStatusResp(s.engine.ResetSession(session))
+	default:
+		return encodeStatusResp(StatusBadRequest)
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, keep serving
+// connected clients until they disconnect or ctx expires, then force
+// the stragglers closed and stop the engine.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.engine.Close()
+	return err
+}
+
+// Close shuts the server down immediately: connections are closed
+// without waiting for them to go idle.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return err
+}
+
+// StatsHandler serves the engine's stats snapshot as JSON — an
+// expvar-style endpoint for the optional HTTP listener.
+func StatsHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(e.StatsJSON())
+	})
+}

@@ -51,6 +51,14 @@ func (r *Reader) Next() (Event, bool) {
 	return e, true
 }
 
+// Reset rewinds the reader to the beginning of the trace, so one
+// Reader can replay its trace repeatedly (Sources in general are
+// single-use; Reader is the exception).
+func (r *Reader) Reset() { r.i = 0 }
+
+// Remaining returns the number of events Next has yet to produce.
+func (r *Reader) Remaining() int { return len(r.t) - r.i }
+
 // Collect drains src into an in-memory Trace. If max > 0, at most max
 // events are collected.
 func Collect(src Source, max int) Trace {

@@ -42,6 +42,44 @@ func TestReaderExhaustion(t *testing.T) {
 	}
 }
 
+func TestReaderResetRemaining(t *testing.T) {
+	tr := sampleTrace(10, 11)
+	r := NewReader(tr)
+	if got := r.Remaining(); got != 10 {
+		t.Fatalf("fresh Remaining = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		r.Next()
+	}
+	if got := r.Remaining(); got != 6 {
+		t.Fatalf("Remaining after 4 = %d, want 6", got)
+	}
+	r.Reset()
+	if got := r.Remaining(); got != 10 {
+		t.Fatalf("Remaining after Reset = %d, want 10", got)
+	}
+	if got := Collect(r, 0); !reflect.DeepEqual(got, tr) {
+		t.Error("reset reader did not replay the full trace")
+	}
+	if got := r.Remaining(); got != 0 {
+		t.Fatalf("Remaining after drain = %d, want 0", got)
+	}
+	// Reset after exhaustion replays again.
+	r.Reset()
+	if got := Collect(r, 0); !reflect.DeepEqual(got, tr) {
+		t.Error("second replay after Reset differs")
+	}
+	// Empty-trace reader: Remaining 0, Reset harmless.
+	e := NewReader(nil)
+	if e.Remaining() != 0 {
+		t.Error("empty reader Remaining != 0")
+	}
+	e.Reset()
+	if _, ok := e.Next(); ok {
+		t.Error("empty reader produced an event")
+	}
+}
+
 func TestCollectMax(t *testing.T) {
 	tr := sampleTrace(100, 2)
 	if got := Collect(NewReader(tr), 10); len(got) != 10 {
@@ -63,6 +101,33 @@ func TestLimit(t *testing.T) {
 	}
 }
 
+func TestLimitEdgeCases(t *testing.T) {
+	// n = 0 must not consume from the underlying source.
+	r := NewReader(sampleTrace(5, 21))
+	if got := Collect(Limit(r, 0), 0); len(got) != 0 {
+		t.Errorf("Limit(0) yielded %d events", len(got))
+	}
+	if got := r.Remaining(); got != 5 {
+		t.Errorf("Limit(0) consumed from source: %d remaining, want 5", got)
+	}
+	// Negative n behaves as zero.
+	if got := Collect(Limit(NewReader(sampleTrace(5, 22)), -3), 0); len(got) != 0 {
+		t.Errorf("Limit(-3) yielded %d events", len(got))
+	}
+	// n beyond the source length yields the whole source, then stops.
+	l := Limit(NewReader(sampleTrace(3, 23)), 100)
+	if got := Collect(l, 0); len(got) != 3 {
+		t.Errorf("Limit(100) over 3 events yielded %d", len(got))
+	}
+	if _, ok := l.Next(); ok {
+		t.Error("exhausted Limit produced an event")
+	}
+	// Limit over an empty source is empty.
+	if got := Collect(Limit(NewReader(nil), 4), 0); len(got) != 0 {
+		t.Errorf("Limit over empty source yielded %d events", len(got))
+	}
+}
+
 func TestConcat(t *testing.T) {
 	a, b := sampleTrace(5, 4), sampleTrace(3, 5)
 	got := Collect(Concat(NewReader(a), NewReader(b)), 0)
@@ -72,6 +137,29 @@ func TestConcat(t *testing.T) {
 	}
 	if got := Collect(Concat(), 0); len(got) != 0 {
 		t.Error("empty Concat should be empty")
+	}
+}
+
+func TestConcatEdgeCases(t *testing.T) {
+	a := sampleTrace(4, 31)
+	// Empty sources anywhere in the chain are skipped transparently.
+	got := Collect(Concat(NewReader(nil), NewReader(a), NewReader(nil), NewReader(nil)), 0)
+	if !reflect.DeepEqual(got, a) {
+		t.Error("Concat with interleaved empty sources lost or reordered events")
+	}
+	// All-empty chain terminates.
+	c := Concat(NewReader(nil), NewReader(nil))
+	if _, ok := c.Next(); ok {
+		t.Error("all-empty Concat produced an event")
+	}
+	// Next after exhaustion stays exhausted.
+	if _, ok := c.Next(); ok {
+		t.Error("exhausted Concat produced an event")
+	}
+	// Concat of Limits composes.
+	both := Concat(Limit(NewReader(a), 2), Limit(NewReader(a), 1))
+	if got := Collect(both, 0); len(got) != 3 {
+		t.Errorf("Concat(Limit(2), Limit(1)) yielded %d events", len(got))
 	}
 }
 
