@@ -1,14 +1,16 @@
 # Verify loop for the repo. `make verify` is the default gate for any
-# change: the tier-1 build+test pass (ROADMAP.md), go vet, and the
-# race detector over the concurrent packages (internal/serve is the
-# first concurrent code in the repo; its tests — and the cmd tests
-# that drive a live server — must stay race-clean).
+# change: the tier-1 build+test pass (ROADMAP.md), go vet, the race
+# detector over the concurrent packages (internal/serve is the first
+# concurrent code in the repo; its tests — and the cmd tests that
+# drive a live server — must stay race-clean), and the project's own
+# static-analysis suite (cmd/vplint, see DESIGN.md §"Statically
+# enforced invariants").
 
 GO ?= go
 
-.PHONY: verify build test vet race bench serve-bench
+.PHONY: verify build test vet lint race bench serve-bench fuzz
 
-verify: vet build test race
+verify: vet build test race lint
 
 build:
 	$(GO) build ./...
@@ -19,8 +21,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Project-specific invariants: Predict purity, replay determinism,
+# hot-path allocation discipline, VP1 decode bounds, error discipline.
+# Non-zero exit on any finding; suppress only with
+# //lint:ignore <rule> <reason>.
+lint:
+	$(GO) run ./cmd/vplint ./...
+
 race:
 	$(GO) test -race ./internal/serve/... ./internal/core/... ./cmd/vpserve/... ./cmd/vploadgen/...
+
+# Short fuzz smoke over the attacker-facing decoders and the history
+# hashes. CI-friendly: a few seconds per target; crank -fuzztime for
+# a real campaign.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeMessage$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeFrameReaderErrors$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzHash$$' -fuzztime=$(FUZZTIME) ./internal/hash
+	$(GO) test -run='^$$' -fuzz='^FuzzReadAuto$$' -fuzztime=$(FUZZTIME) ./internal/trace
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

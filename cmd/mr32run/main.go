@@ -68,7 +68,9 @@ func main() {
 		c.EnableProfile(len(p.Text))
 	}
 	err = c.Run(*budget)
-	os.Stdout.Write(c.Stdout)
+	if _, werr := os.Stdout.Write(c.Stdout); werr != nil {
+		fatal(werr)
+	}
 	if err != nil && err != vm.ErrBudget {
 		fatal(err)
 	}

@@ -1,0 +1,141 @@
+// Command vplint runs the repo's project-specific static-analysis
+// suite (internal/analysis) over the module and exits non-zero when
+// any invariant is violated. It is the `make lint` gate.
+//
+// Usage:
+//
+//	vplint [-C dir] [-rules id,id,...] [-list] [packages]
+//
+// Packages are directory patterns relative to the working directory
+// ("./...", "./internal/core", "internal/serve/..."); with none given
+// the whole module is analyzed. Rules are selected by ID (see -list).
+// Findings print as file:line:col: rule: message, one per line, and
+// the exit status is 1 when any are reported, 2 on usage errors, 3
+// when the tree cannot be loaded or type-checked.
+//
+// Suppress a finding by annotating its line (or the line above) with
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "analyze the module containing this directory")
+	rules := fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.ID, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := analysis.ByID(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "vplint:", err)
+		return 2
+	}
+
+	start, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "vplint:", err)
+		return 2
+	}
+	root, err := findModuleRoot(start)
+	if err != nil {
+		fmt.Fprintln(stderr, "vplint:", err)
+		return 2
+	}
+
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "vplint:", err)
+		return 3
+	}
+	pkgs = filterPackages(pkgs, fs.Args(), start)
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "vplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the directory containing
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found in or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterPackages narrows the loaded module to the requested directory
+// patterns, resolved relative to base. An empty pattern list, "...",
+// or "./..." selects everything.
+func filterPackages(pkgs []*analysis.Package, patterns []string, base string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(pkg.Dir, pat, base) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(pkgDir, pat, base string) bool {
+	recursive := false
+	if pat == "..." {
+		pat, recursive = ".", true
+	} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		pat, recursive = rest, true
+		if pat == "" {
+			pat = "."
+		}
+	}
+	target := pat
+	if !filepath.IsAbs(target) {
+		target = filepath.Join(base, pat)
+	}
+	target = filepath.Clean(target)
+	if pkgDir == target {
+		return true
+	}
+	return recursive && strings.HasPrefix(pkgDir, target+string(filepath.Separator))
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces bit-identical replay: the predictor core and
+// the trace layer must produce the same output for the same input on
+// every run, because the serve path's end-to-end equivalence test
+// (offline replay == served replay) and the artifact verification in
+// cmd/dfcmsim both depend on it.
+//
+// In internal/core and internal/trace the rule flags:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — replay
+//     output must not depend on when it runs;
+//   - math/rand used without an explicit seeded source (package-level
+//     rand.Intn etc.; constructing rand.New(rand.NewSource(seed)) is
+//     fine, as is calling methods on the resulting *rand.Rand);
+//   - ranging over a map where the loop body emits or accumulates
+//     order-sensitive output (appending to an outer slice, writing
+//     to an io.Writer, sending on a channel). Iterate sorted keys
+//     instead, or suppress with a reason when a later total sort
+//     restores determinism.
+var Determinism = &Analyzer{
+	ID:  "determinism",
+	Doc: "internal/core and internal/trace must be bit-identical across runs",
+	Run: runDeterminism,
+}
+
+func determinismScope(path string) bool {
+	return strings.HasSuffix(path, "/internal/core") || strings.HasSuffix(path, "/internal/trace")
+}
+
+// seededRandAllowed lists math/rand selectors that construct or name
+// explicitly seeded generators rather than using the global source.
+var seededRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 sources
+	"Source": true, "Rand": true, "Zipf": true, // type names
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) {
+	if !determinismScope(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				switch pkgOf(info, x) {
+				case "time":
+					if wallClockFuncs[x.Sel.Name] {
+						pass.Reportf(x.Pos(), "wall-clock read time.%s: replay output must not depend on run time", x.Sel.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandAllowed[x.Sel.Name] {
+						pass.Reportf(x.Pos(), "rand.%s uses the shared global source; construct rand.New(rand.NewSource(seed)) instead", x.Sel.Name)
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags map iteration whose body's effect depends on
+// Go's randomized map iteration order.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// Objects declared inside the range statement (key/value vars and
+	// body locals): effects confined to them are order-insensitive.
+	inner := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := info.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+		return true
+	})
+
+	outer := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return true // conservative: unknown root counts as outer
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		return obj != nil && !inner[obj]
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send inside map iteration publishes values in random order")
+			return false
+		case *ast.CallExpr:
+			pkg, name := calleeName(info, x)
+			if name == "append" && pkg == "" && len(x.Args) > 0 && outer(x.Args[0]) {
+				pass.Reportf(x.Pos(), "append to %s inside map iteration accumulates in random order; iterate sorted keys", types.ExprString(x.Args[0]))
+				return false
+			}
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+				name == "Write" || name == "WriteString" || name == "WriteByte" {
+				pass.Reportf(x.Pos(), "%s inside map iteration emits output in random order; iterate sorted keys", name)
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok || !outer(idx) {
+					continue
+				}
+				if tv, ok := info.Types[idx.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						continue // writing map entries is order-insensitive
+					}
+				}
+				pass.Reportf(lhs.Pos(), "indexed write to %s inside map iteration orders elements randomly", types.ExprString(idx.X))
+			}
+		}
+		return true
+	})
+}

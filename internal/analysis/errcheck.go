@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrorDiscipline forbids silently discarded errors in the
+// operational layers — the cmd/ binaries and the network server in
+// internal/serve — where a dropped error turns into a truncated
+// artifact file, a half-written response, or a leaked connection that
+// no test will reproduce.
+//
+// A call whose last result is an error must not appear as a bare
+// statement. Exempt:
+//
+//   - `defer x.Close()` and friends — deferred cleanup on an exit
+//     path has no error consumer by design;
+//   - fmt.Print/Printf/Println/Fprint* — terminal/report output in a
+//     CLI, where the standard library itself discards the result
+//     idiomatically;
+//   - an explicit `_ =` assignment, which is a visible, reviewable
+//     decision rather than an accident.
+var ErrorDiscipline = &Analyzer{
+	ID:  "error-discipline",
+	Doc: "cmd/ and internal/serve must not silently discard error returns",
+	Run: runErrorDiscipline,
+}
+
+func errorDisciplineScope(path string) bool {
+	return strings.Contains(path, "/cmd/") || strings.HasSuffix(path, "/internal/serve")
+}
+
+func runErrorDiscipline(pass *Pass) {
+	if !errorDisciplineScope(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(info, call) || errcheckExempt(info, call) {
+				return true
+			}
+			_, name := calleeName(info, call)
+			if name == "" {
+				name = types.ExprString(call.Fun)
+			}
+			pass.Reportf(call.Pos(), "result of %s discarded; handle the error or assign it to _ explicitly", name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call produces an error among its
+// results.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// errcheckExempt lists callees whose discarded error is idiomatic.
+func errcheckExempt(info *types.Info, call *ast.CallExpr) bool {
+	pkg, name := calleeName(info, call)
+	if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	// Writes into in-memory buffers cannot fail (they panic on OOM);
+	// forcing checks there is noise.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch strings.TrimPrefix(receiverType(info, sel), "*") {
+		case "bytes.Buffer", "strings.Builder":
+			return true
+		}
+	}
+	return false
+}
+
+// receiverType names a method call's receiver type, e.g.
+// "*bytes.Buffer", or "" for non-method callees.
+func receiverType(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	return s.Recv().String()
+}

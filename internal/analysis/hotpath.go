@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc keeps the per-event hot path allocation-free. A
+// predictor serving millions of events per second cannot afford fmt's
+// reflection-driven formatting, reflect itself, interface boxing, or
+// defer bookkeeping inside the functions that run once per trace
+// event.
+//
+// Scope:
+//
+//   - internal/core: bodies of the per-event methods Predict,
+//     PredictConfident, Update, Score and L2Index;
+//   - internal/hash: every Update method plus the Fold and Mask
+//     helpers (they run once per event inside FCM/DFCM updates).
+//
+// Cold paths — constructors, Name, SizeBits, Stats — may use fmt
+// freely; they are out of scope by construction.
+var HotPathAlloc = &Analyzer{
+	ID:  "hot-path-alloc",
+	Doc: "per-event predictor and hash paths must not use fmt/reflect, box interfaces, or defer",
+	Run: runHotPathAlloc,
+}
+
+var coreHotMethods = map[string]bool{
+	"Predict": true, "PredictConfident": true, "Update": true,
+	"Score": true, "L2Index": true,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	switch {
+	case strings.HasSuffix(pass.Pkg.Path, "/internal/core"):
+		methodsNamed(pass.Pkg, coreHotMethods, func(decl *ast.FuncDecl, recvType string) {
+			checkHotBody(pass, decl.Name.Name, decl.Body)
+		})
+	case strings.HasSuffix(pass.Pkg.Path, "/internal/hash"):
+		methodsNamed(pass.Pkg, map[string]bool{"Update": true}, func(decl *ast.FuncDecl, recvType string) {
+			checkHotBody(pass, decl.Name.Name, decl.Body)
+		})
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Recv != nil || decl.Body == nil {
+					continue
+				}
+				if decl.Name.Name == "Fold" || decl.Name.Name == "Mask" {
+					checkHotBody(pass, decl.Name.Name, decl.Body)
+				}
+			}
+		}
+	}
+}
+
+func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			switch pkgOf(info, x) {
+			case "fmt":
+				pass.Reportf(x.Pos(), "fmt.%s in hot path %s allocates and reflects; format off the per-event path", x.Sel.Name, fname)
+			case "reflect":
+				pass.Reportf(x.Pos(), "reflect.%s in hot path %s", x.Sel.Name, fname)
+			}
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "defer in hot path %s adds per-event overhead; restructure the cleanup", fname)
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "goroutine launch in hot path %s", fname)
+		case *ast.CallExpr:
+			checkInterfaceConversion(pass, fname, x)
+		}
+		return true
+	})
+}
+
+// checkInterfaceConversion flags explicit conversions of concrete
+// values to interface types — each one heap-allocates the boxed value
+// on the per-event path.
+func checkInterfaceConversion(pass *Pass, fname string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if !types.IsInterface(tv.Type) {
+		return
+	}
+	if argTV, ok := info.Types[call.Args[0]]; ok && !types.IsInterface(argTV.Type) {
+		pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand in hot path %s",
+			types.ExprString(call.Fun), fname)
+	}
+}

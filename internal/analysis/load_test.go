@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestLoadModuleAndMergedTreeClean type-checks the whole repository
+// through the loader and asserts the merged tree carries zero
+// findings — the same gate `make lint` enforces, run as a test so
+// `go test ./...` catches regressions without the Makefile.
+func TestLoadModuleAndMergedTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module including stdlib deps")
+	}
+	pkgs, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — loader is missing module trees", len(pkgs))
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		if p.Types == nil || p.Info == nil {
+			t.Fatalf("%s: not type-checked", p.Path)
+		}
+	}
+	for _, path := range []string{
+		"repro", "repro/internal/core", "repro/internal/trace",
+		"repro/internal/hash", "repro/internal/serve", "repro/cmd/vplint",
+	} {
+		if byPath[path] == nil {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("merged tree finding: %s", d)
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ProtoBounds guards the VP1 decode paths against attacker-controlled
+// allocation: a frame or payload carries a length field, and the
+// decoder must validate that length against what actually arrived (or
+// against the max-frame bound) before allocating storage sized by it.
+// Otherwise a 12-byte request claiming 2^32 events allocates
+// gigabytes before the truncation is noticed.
+//
+// In internal/serve the rule inspects every function named readFrame
+// or decode*: each make() whose size is not a compile-time constant
+// must be preceded, in the same function, by an if-statement that
+// compares the size variable (directly or inside a larger
+// expression) against something — the length-vs-payload or
+// length-vs-maxFrame guard.
+var ProtoBounds = &Analyzer{
+	ID:  "proto-bounds",
+	Doc: "VP1 decode paths must length-check before allocating attacker-sized buffers",
+	Run: runProtoBounds,
+}
+
+func runProtoBounds(pass *Pass) {
+	if !strings.HasSuffix(pass.Pkg.Path, "/internal/serve") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			name := decl.Name.Name
+			if name == "readFrame" || strings.HasPrefix(name, "decode") {
+				checkDecodeFunc(pass, decl)
+			}
+		}
+	}
+}
+
+func checkDecodeFunc(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// guarded maps each object to the position of the earliest
+	// if-condition comparing it; a make() at a later position whose
+	// size mentions the object is considered bounds-checked.
+	guarded := make(map[types.Object]token.Pos)
+	recordGuards := func(cond ast.Expr) {
+		ast.Inspect(cond, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					ast.Inspect(side, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							if obj := info.Uses[id]; obj != nil {
+								if _, seen := guarded[obj]; !seen {
+									guarded[obj] = cond.Pos()
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			recordGuards(x.Cond)
+		case *ast.CallExpr:
+			if _, name := calleeName(info, x); name != "make" || len(x.Args) < 2 {
+				return true
+			}
+			size := x.Args[1]
+			if tv, ok := info.Types[size]; ok && tv.Value != nil {
+				return true // constant size
+			}
+			if !sizeGuarded(info, size, guarded, x.Pos()) {
+				pass.Reportf(x.Pos(), "%s allocates %s without a prior length check on its size",
+					decl.Name.Name, types.ExprString(x))
+			}
+		}
+		return true
+	})
+}
+
+// sizeGuarded reports whether any identifier contributing to the size
+// expression was compared in an if-condition earlier in the function.
+func sizeGuarded(info *types.Info, size ast.Expr, guarded map[types.Object]token.Pos, at token.Pos) bool {
+	ok := false
+	ast.Inspect(size, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent {
+			if obj := info.Uses[id]; obj != nil {
+				if pos, seen := guarded[obj]; seen && pos < at {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressionPlacement: an ignore directive silences its own line
+// and the line below, nothing else.
+func TestSuppressionPlacement(t *testing.T) {
+	src := `package core
+
+import "time"
+
+func a() int64 { return time.Now().UnixNano() } //lint:ignore determinism test inline
+
+func b() int64 {
+	//lint:ignore determinism test line-above
+	return time.Now().UnixNano()
+}
+
+func c() int64 {
+	//lint:ignore determinism test too far away
+
+	return time.Now().UnixNano()
+}
+
+func d() int64 { return time.Now().UnixNano() }
+`
+	pkg, err := CheckSource("repro/internal/core", "sup.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (c and d): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 15 || diags[1].Pos.Line != 18 {
+		t.Errorf("findings at lines %d,%d; want 15,18", diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+// TestSuppressionRuleList: comma-separated rule IDs all apply; other
+// rules stay live.
+func TestSuppressionRuleList(t *testing.T) {
+	src := `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func a() int64 {
+	//lint:ignore determinism,predict-purity test multi-rule
+	return time.Now().UnixNano()
+}
+
+func b() int {
+	//lint:ignore predict-purity test wrong rule
+	return rand.Intn(6)
+}
+`
+	pkg, err := CheckSource("repro/internal/core", "sup.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "rand.Intn") {
+		t.Fatalf("got %v, want only the rand.Intn finding", diags)
+	}
+}
+
+// TestMalformedDirectiveReported: a directive without a reason is
+// itself a finding — suppressions must be auditable.
+func TestMalformedDirectiveReported(t *testing.T) {
+	src := `package core
+
+func a() {
+	//lint:ignore determinism
+	_ = 0
+}
+`
+	pkg, err := CheckSource("repro/internal/core", "sup.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, All())
+	if len(diags) != 1 || diags[0].Rule != "lint-directive" {
+		t.Fatalf("got %v, want one lint-directive finding", diags)
+	}
+}

@@ -1,0 +1,78 @@
+// Seeded-violation fixture for the determinism analyzer. Loaded with
+// import path "repro/internal/core".
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 { return time.Now().UnixNano() } // want determinism
+
+func roll() int { return rand.Intn(6) } // want determinism
+
+// seeded constructs an explicit source — allowed.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// keys accumulates in map order — the classic nondeterministic output.
+func keys(m map[uint32]int) []uint32 {
+	var out []uint32
+	for k := range m {
+		out = append(out, k) // want determinism
+	}
+	return out
+}
+
+// keysSorted does the same but suppresses with a reason because the
+// caller-visible order is restored by the sort.
+func keysSorted(m map[uint32]int) []uint32 {
+	var out []uint32
+	for k := range m {
+		//lint:ignore determinism order restored by the sort below
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// count folds commutatively — order-insensitive, allowed.
+func count(m map[uint32]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes map entries keyed by the iterated values —
+// order-insensitive, allowed.
+func invert(m map[uint32]uint32) map[uint32]uint32 {
+	out := make(map[uint32]uint32, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// fill writes slice elements positioned by map iteration order — the
+// slice contents end up randomly ordered.
+func fill(m map[int]uint32) []uint32 {
+	out := make([]uint32, len(m))
+	i := 0
+	for _, v := range m {
+		out[i] = v // want determinism
+		i++
+	}
+	return out
+}
+
+// publish streams values in map order.
+func publish(m map[uint32]int, ch chan<- uint32) {
+	for k := range m {
+		ch <- k // want determinism
+	}
+}

@@ -1,0 +1,32 @@
+// Seeded-violation fixture for the error-discipline analyzer. Loaded
+// with import path "repro/cmd/fixture".
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func step() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func main() {
+	step()   // want error-discipline
+	pair()   // want error-discipline
+	_ = step()
+	f, err := os.Create("x")
+	if err != nil {
+		return
+	}
+	defer f.Close() // deferred cleanup: exempt
+	f.Close()       // want error-discipline
+	fmt.Println("done")               // fmt print family: exempt
+	fmt.Fprintf(os.Stderr, "done\n")  // fmt print family: exempt
+	var b strings.Builder
+	b.WriteString("in-memory") // builder writes cannot fail: exempt
+	_ = b.String()
+	//lint:ignore error-discipline fixture: failure already handled by retry loop
+	step()
+}

@@ -1,0 +1,43 @@
+// Seeded-violation fixture for the hot-path-alloc analyzer (core
+// scope). Loaded with import path "repro/internal/core".
+package core
+
+import (
+	"fmt"
+	"reflect"
+)
+
+type Hot struct {
+	t    []uint32
+	name string
+}
+
+func (h *Hot) Predict(pc uint32) uint32 {
+	s := fmt.Sprintf("pc=%d", pc) // want hot-path-alloc
+	_ = s
+	return h.t[pc&7]
+}
+
+func (h *Hot) Update(pc, v uint32) {
+	defer func() { _ = recover() }() // want hot-path-alloc
+	x := any(v)                      // want hot-path-alloc
+	_ = x
+	h.t[pc&7] = v
+}
+
+func (h *Hot) Score(pc, v uint32) bool {
+	return reflect.DeepEqual(pc, v) // want hot-path-alloc
+}
+
+// Name is a cold path: fmt is fine here.
+func (h *Hot) Name() string { return fmt.Sprintf("hot-%d", len(h.t)) }
+
+// Logged demonstrates suppression on a hot path.
+type Logged struct{ t []uint32 }
+
+func (l *Logged) Predict(pc uint32) uint32 {
+	//lint:ignore hot-path-alloc fixture: debug build only
+	s := fmt.Sprintf("%d", pc)
+	_ = s
+	return l.t[0]
+}

@@ -1,0 +1,30 @@
+// Seeded-violation fixture for the hot-path-alloc analyzer (hash
+// scope). Loaded with import path "repro/internal/hash".
+package hash
+
+import "fmt"
+
+type F struct{ n uint }
+
+func (f *F) Update(h, v uint64) uint64 {
+	s := fmt.Sprintf("%d", h) // want hot-path-alloc
+	_ = s
+	return (h << 1) ^ v
+}
+
+// Name is cold: fmt allowed.
+func (f *F) Name() string { return fmt.Sprintf("f-%d", f.n) }
+
+func Fold(v uint64, n uint) uint64 {
+	defer noteFold() // want hot-path-alloc
+	return v & Mask(n)
+}
+
+func Mask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+func noteFold() {}

@@ -1,0 +1,66 @@
+// Seeded-violation fixture for the proto-bounds analyzer. Loaded with
+// import path "repro/internal/serve".
+package serve
+
+import "encoding/binary"
+
+// decodeBad allocates whatever the wire claims — the exact bug the
+// rule exists for.
+func decodeBad(p []byte) []uint32 {
+	n := binary.BigEndian.Uint32(p)
+	return make([]uint32, n) // want proto-bounds
+}
+
+// decodeGood validates the claimed count against the bytes that
+// actually arrived before allocating.
+func decodeGood(p []byte) []uint32 {
+	if len(p) < 4 {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(p)
+	body := p[4:]
+	if uint64(len(body)) != 4*uint64(n) {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(body[4*i:])
+	}
+	return out
+}
+
+// readFrame bounds the size against a max-frame limit — also fine.
+func readFrame(p []byte, maxFrame int) []byte {
+	n := binary.BigEndian.Uint32(p)
+	if n > uint32(maxFrame) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// decodeLate checks only after allocating — still a violation.
+func decodeLate(p []byte) []uint32 {
+	n := binary.BigEndian.Uint32(p)
+	out := make([]uint32, n) // want proto-bounds
+	if uint64(len(p)) < uint64(n) {
+		return nil
+	}
+	return out
+}
+
+// decodeFixedSize uses a constant allocation — out of scope.
+func decodeFixedSize(p []byte) []byte {
+	return make([]byte, 8)
+}
+
+// encodeAnything is not a decode path; derived sizes are fine here.
+func encodeAnything(vals []uint32) []byte {
+	return make([]byte, 4*len(vals))
+}
+
+// decodeTrusted documents why its size needs no guard.
+func decodeTrusted(p []byte) []byte {
+	n := binary.BigEndian.Uint32(p)
+	//lint:ignore proto-bounds fixture: size comes from an already-validated header
+	return make([]byte, n)
+}

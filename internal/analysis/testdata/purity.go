@@ -1,0 +1,75 @@
+// Seeded-violation fixture for the predict-purity analyzer. Loaded by
+// the tests with import path "repro/internal/core"; `// want <rule>`
+// marks lines that must be flagged.
+package core
+
+// Bad mutates its tables while predicting — every write pattern the
+// rule must catch.
+type Bad struct {
+	l1    []uint32
+	seen  map[uint32]bool
+	count int
+}
+
+func (p *Bad) Predict(pc uint32) uint32 {
+	p.count++                // want predict-purity
+	p.l1[pc&7] = pc          // want predict-purity
+	p.seen[pc] = true        // want predict-purity
+	e := &p.l1[pc&7]         // alias into receiver storage
+	*e = 1                   // want predict-purity
+	p.l1 = append(p.l1, pc)  // want predict-purity
+	delete(p.seen, pc)       // want predict-purity
+	return p.l1[0]
+}
+
+// comp stands in for a wrapped component predictor.
+type comp struct{ last uint32 }
+
+func (c *comp) Predict(pc uint32) uint32 { return c.last }
+func (c *comp) Update(pc, v uint32)      { c.last = v }
+
+// Wrap trains its component from Predict — the indirect mutation the
+// rule must catch.
+type Wrap struct{ c *comp }
+
+func (w *Wrap) Predict(pc uint32) uint32 {
+	w.c.Update(pc, 0) // want predict-purity
+	return w.c.Predict(pc)
+}
+
+// Good is a pure two-level lookup: locals, aliased reads and
+// component Predict calls are all fine, and Update may write freely.
+type Good struct {
+	l1 []uint32
+	c  *comp
+}
+
+func (g *Good) Predict(pc uint32) uint32 {
+	i := pc & 7
+	e := &g.l1[i]
+	return *e + g.c.Predict(pc)
+}
+
+func (g *Good) Update(pc, v uint32) { g.l1[pc&7] = v }
+
+// Delayed mirrors core.Delayed: the one receiver type whose Predict
+// is documented to drain pending updates.
+type Delayed struct {
+	q    []uint32
+	head int
+}
+
+func (d *Delayed) Predict(pc uint32) uint32 {
+	d.head++
+	d.q = d.q[:0]
+	return 0
+}
+
+// Cached shows the suppression escape hatch.
+type Cached struct{ memo []uint32 }
+
+func (c *Cached) Predict(pc uint32) uint32 {
+	//lint:ignore predict-purity fixture: memo write is deterministic and documented
+	c.memo[pc&1] = pc
+	return c.memo[0]
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rootIdent returns the base identifier of an lvalue-ish expression
+// chain — p in p.l1[i].hist, (&p.state[i]).x, p.pending[:n] — or nil
+// when the chain does not bottom out in an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pkgOf returns the imported package a selector expression selects
+// from (e.g. "time" for time.Now), or "" when sel.X is not a package
+// name.
+func pkgOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleeName unwraps a call's function expression to (pkgPath, name)
+// for package-level callees, ("", name) for everything else named,
+// and ("", "") for anonymous callees.
+func calleeName(info *types.Info, call *ast.CallExpr) (pkg, name string) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return "", fn.Name
+	case *ast.SelectorExpr:
+		return pkgOf(info, fn), fn.Sel.Name
+	}
+	return "", ""
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// methodsNamed yields every method declaration in the package whose
+// name is in want, along with its receiver's named-type name.
+func methodsNamed(pkg *Package, want map[string]bool, fn func(decl *ast.FuncDecl, recvType string)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Recv == nil || decl.Body == nil || !want[decl.Name.Name] {
+				continue
+			}
+			fn(decl, recvTypeName(decl))
+		}
+	}
+}
+
+// recvTypeName extracts the receiver's type name from a method
+// declaration ("Delayed" for func (d *Delayed) ...).
+func recvTypeName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// recvObject returns the receiver parameter's object, or nil for an
+// anonymous receiver.
+func recvObject(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[decl.Recv.List[0].Names[0]]
+}

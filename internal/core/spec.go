@@ -27,6 +27,12 @@ func (s Spec) New() (Predictor, error) {
 	if s.L2 > 30 {
 		return nil, fmt.Errorf("level-2 width %d out of range [0,30]", s.L2)
 	}
+	// The context kinds hash histories into the level-2 index, and a
+	// zero-width hash is meaningless — the constructors panic on it,
+	// so reject it here where inputs come from flags or the network.
+	if s.L2 == 0 && (s.Kind == "fcm" || s.Kind == "dfcm" || s.Kind == "hybrid") {
+		return nil, fmt.Errorf("%s needs a level-2 width in [1,30]", s.Kind)
+	}
 	width := s.Width
 	if width == 0 {
 		width = 32

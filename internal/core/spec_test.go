@@ -62,3 +62,106 @@ func TestSpecBuiltAreResettable(t *testing.T) {
 		}
 	}
 }
+
+// TestSpecNewBoundaries pins the exact edges of each validated
+// parameter: the largest accepted value and the smallest rejected one.
+func TestSpecNewBoundaries(t *testing.T) {
+	// Accepted edges stay at small table sizes: the in-range maxima
+	// (L1/L2 = 30) are legal but allocate gigabyte tables, so the
+	// range ends are exercised on the rejection side only.
+	accept := []Spec{
+		{Kind: "lvp", L1: 0},                     // zero-entry table degenerates to 1 entry
+		{Kind: "fcm", L1: 0, L2: 1},              // both levels minimal
+		{Kind: "dfcm", L1: 10, L2: 8, Width: 1},  // narrowest stride
+		{Kind: "dfcm", L1: 10, L2: 8, Width: 32}, // widest stride
+		{Kind: "2delta", L1: 10, Delay: 1 << 20}, // huge but legal delay
+		{Kind: "hybrid", L1: 0, L2: 1},           // minimal hybrid
+	}
+	for _, s := range accept {
+		if _, err := s.New(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+	reject := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Kind: "lvp", L1: 31}, "level-1"},
+		{Spec{Kind: "fcm", L1: 10, L2: 31}, "level-2"},
+		{Spec{Kind: "fcm", L1: 10, L2: 0}, "level-2"},  // zero-size level-2 table
+		{Spec{Kind: "dfcm", L1: 10, L2: 0}, "level-2"}, // zero-size level-2 table
+		{Spec{Kind: "hybrid", L1: 10, L2: 0}, "level-2"},
+		{Spec{Kind: "dfcm", L1: 10, L2: 8, Width: 33}, "stride width"},
+		{Spec{Kind: "stride", L1: 10, Delay: -1}, "delay"},
+		{Spec{}, "unknown predictor"},                // zero value
+		{Spec{Kind: "DFCM", L1: 10, L2: 8}, "unknown predictor"}, // kinds are case-sensitive
+		{Spec{Kind: "lvp", L1: ^uint(0)}, "level-1"}, // wraparound-sized table
+	}
+	for _, c := range reject {
+		p, err := c.spec.New()
+		if err == nil {
+			t.Errorf("%+v accepted as %s", c.spec, p.Name())
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%+v: error %q, want substring %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// TestSpecNewNeverPanics: Spec.New validates instead of panicking —
+// specs arrive from flags and network peers, so a malformed one must
+// come back as an error even though the underlying constructors panic
+// on the same inputs.
+func TestSpecNewNeverPanics(t *testing.T) {
+	// Valid size values stay small (10/8) so accepted specs allocate
+	// kilobytes; the interesting cases are the out-of-range ones,
+	// which must error before any allocation happens.
+	kinds := []string{"", "lvp", "stride", "2delta", "fcm", "dfcm", "hybrid", "nonsense"}
+	l1s := []uint{0, 10, 31, 64, ^uint(0)}
+	l2s := []uint{0, 8, 31, ^uint(0)}
+	widths := []uint{0, 1, 32, 33, ^uint(0)}
+	delays := []int{-1 << 40, -1, 0, 1, 1 << 20}
+	for _, kind := range kinds {
+		for _, l1 := range l1s {
+			for _, l2 := range l2s {
+				for _, w := range widths {
+					for _, d := range delays {
+						s := Spec{Kind: kind, L1: l1, L2: l2, Width: w, Delay: d}
+						func() {
+							defer func() {
+								if r := recover(); r != nil {
+									t.Fatalf("%+v panicked: %v", s, r)
+								}
+							}()
+							p, err := s.New()
+							if (p == nil) == (err == nil) {
+								t.Fatalf("%+v: predictor %v, err %v — exactly one must be set", s, p, err)
+							}
+						}()
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpecWidthIgnoredOffDFCM: Width only applies to dfcm; other
+// kinds must accept any width value silently rather than building a
+// different predictor.
+func TestSpecWidthIgnoredOffDFCM(t *testing.T) {
+	for _, kind := range []string{"lvp", "stride", "2delta", "fcm", "hybrid"} {
+		base, err := Spec{Kind: kind, L1: 8, L2: 6}.New()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		wide, err := Spec{Kind: kind, L1: 8, L2: 6, Width: 16}.New()
+		if err != nil {
+			t.Fatalf("%s with width: %v", kind, err)
+		}
+		if base.Name() != wide.Name() || base.SizeBits() != wide.SizeBits() {
+			t.Errorf("%s: width changed predictor: %s/%d vs %s/%d",
+				kind, base.Name(), base.SizeBits(), wide.Name(), wide.SizeBits())
+		}
+	}
+}

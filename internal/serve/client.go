@@ -46,7 +46,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip writes one request frame and reads its response payload.
 func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
-	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
 	if err := writeFrame(c.bw, op, payload); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzDecodeFrame drives the frame reader with arbitrary bytes: it
+// must never panic, never allocate past the max-frame bound, and any
+// frame it accepts must survive a write/read round trip bit-exactly.
+func FuzzDecodeFrame(f *testing.F) {
+	var good bytes.Buffer
+	if err := writeFrame(&good, OpPredictBatch, encodePredictReq(7, []uint32{1, 2, 3})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes(), 0)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x56, 0x50, 1, OpStats, 0, 0, 0, 0}, 64)
+	f.Add([]byte{0x56, 0x50, 1, OpStats, 0xff, 0xff, 0xff, 0xff}, 64)
+	f.Add([]byte{0x00, 0x00, 1, OpStats, 0, 0, 0, 0}, 0)
+	f.Fuzz(func(t *testing.T, raw []byte, maxFrame int) {
+		if maxFrame > 1<<16 {
+			maxFrame = 1 << 16 // keep fuzz memory bounded
+		}
+		op, payload, err := readFrame(bytes.NewReader(raw), maxFrame)
+		if err != nil {
+			return
+		}
+		bound := maxFrame
+		if bound <= 0 {
+			bound = DefaultMaxFrame
+		}
+		if len(payload) > bound {
+			t.Fatalf("accepted %d-byte payload past the %d-byte bound", len(payload), bound)
+		}
+		var out bytes.Buffer
+		if err := writeFrame(&out, op, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		op2, payload2, err := readFrame(&out, maxFrame)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if op2 != op || !bytes.Equal(payload2, payload) {
+			t.Fatalf("frame round trip diverged: op %#x->%#x, %d->%d payload bytes",
+				op, op2, len(payload), len(payload2))
+		}
+	})
+}
+
+// FuzzDecodeMessage drives every VP1 payload decoder with arbitrary
+// payloads: no panics, and every accepted payload must re-encode to a
+// decodable equivalent (decode∘encode = identity on the accepted
+// set).
+func FuzzDecodeMessage(f *testing.F) {
+	f.Add(encodePredictReq(1, []uint32{10, 20}))
+	f.Add(encodeEventReq(1, []trace.Event{{PC: 4, Value: 9}}))
+	f.Add(encodeSessionReq(42))
+	f.Add(encodePredictResp(StatusOK, []uint32{5}))
+	f.Add(encodePredictResp(StatusBusy, nil))
+	f.Add(encodeRunResp(StatusOK, 3))
+	f.Add(encodeStatusResp(StatusClosed))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if session, pcs, err := decodePredictReq(p); err == nil {
+			s2, pcs2, err := decodePredictReq(encodePredictReq(session, pcs))
+			if err != nil || s2 != session || len(pcs2) != len(pcs) {
+				t.Fatalf("predict req round trip: %v", err)
+			}
+		}
+		if session, events, err := decodeEventReq(p); err == nil {
+			s2, ev2, err := decodeEventReq(encodeEventReq(session, events))
+			if err != nil || s2 != session || len(ev2) != len(events) {
+				t.Fatalf("event req round trip: %v", err)
+			}
+		}
+		if session, err := decodeSessionReq(p); err == nil {
+			if s2, err := decodeSessionReq(encodeSessionReq(session)); err != nil || s2 != session {
+				t.Fatalf("session req round trip: %v", err)
+			}
+		}
+		if st, values, err := decodePredictResp(p); err == nil {
+			st2, v2, err := decodePredictResp(encodePredictResp(st, values))
+			if err != nil || st2 != st || len(v2) != len(values) {
+				t.Fatalf("predict resp round trip: %v", err)
+			}
+		}
+		if st, hits, err := decodeRunResp(p); err == nil {
+			st2, h2, err := decodeRunResp(encodeRunResp(st, hits))
+			if err != nil || st2 != st || (st == StatusOK && h2 != hits) {
+				t.Fatalf("run resp round trip: %v", err)
+			}
+		}
+		if st, err := decodeStatusResp(p); err == nil {
+			if st2, err := decodeStatusResp(encodeStatusResp(st)); err != nil || st2 != st {
+				t.Fatalf("status resp round trip: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFrameReaderErrors pairs truncated streams with the frame
+// reader: a short read must surface an error, never a partial frame.
+func FuzzDecodeFrameReaderErrors(f *testing.F) {
+	var good bytes.Buffer
+	if err := writeFrame(&good, OpRunBatch, encodeEventReq(3, []trace.Event{{PC: 8, Value: 1}})); err != nil {
+		f.Fatal(err)
+	}
+	full := good.Bytes()
+	for cut := 0; cut < len(full); cut += 3 {
+		f.Add(cut)
+	}
+	f.Fuzz(func(t *testing.T, cut int) {
+		if cut < 0 || cut >= len(full) {
+			t.Skip()
+		}
+		_, _, err := readFrame(bytes.NewReader(full[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(full))
+		}
+		if cut >= headerSize && err != io.ErrUnexpectedEOF {
+			// Payload truncation is wrapped; just require an error.
+			_ = err
+		}
+	})
+}

@@ -70,7 +70,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed || s.draining {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close()
 		return net.ErrClosed
 	}
 	s.ln = ln
@@ -84,7 +84,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.draining || s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			continue
 		}
 		s.conns[conn] = struct{}{}
@@ -98,7 +98,7 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.connWG.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -106,7 +106,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
-		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return // connection already dead
+		}
 		op, payload, err := readFrame(br, s.cfg.MaxFrame)
 		if err != nil {
 			// EOF, timeout, oversized or malformed frame: drop the
@@ -115,7 +117,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		respPayload := s.dispatch(op, payload)
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return
+		}
 		if err := writeFrame(bw, op|respFlag, respPayload); err != nil {
 			return
 		}
@@ -177,7 +181,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	ln := s.ln
 	s.mu.Unlock()
 	if ln != nil {
-		ln.Close()
+		_ = ln.Close() // Serve's Accept surfaces the close
 	}
 
 	done := make(chan struct{})
@@ -192,7 +196,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 		s.mu.Lock()
 		for conn := range s.conns {
-			conn.Close()
+			_ = conn.Close()
 		}
 		s.mu.Unlock()
 		<-done
@@ -222,6 +226,6 @@ func (s *Server) Close() error {
 func StatsHandler(e *Engine) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(e.StatsJSON())
+		_, _ = w.Write(e.StatsJSON())
 	})
 }

@@ -66,6 +66,7 @@ func Summarize(t Trace, topN int) Stats {
 	}
 	if topN > 0 {
 		for pc, s := range perPC {
+			//lint:ignore determinism the total sort below (count desc, PC asc) restores a deterministic order
 			st.TopPCs = append(st.TopPCs, PCStat{PC: pc, Count: s.count, Values: len(s.values)})
 		}
 		sort.Slice(st.TopPCs, func(i, j int) bool {
