@@ -29,7 +29,7 @@ lint:
 	$(GO) run ./cmd/vplint ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./cmd/vpserve/... ./cmd/vploadgen/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/engine/... ./cmd/vpserve/... ./cmd/vploadgen/... ./cmd/dfcmsim/...
 
 # Short fuzz smoke over the attacker-facing decoders and the history
 # hashes. CI-friendly: a few seconds per target; crank -fuzztime for
@@ -42,8 +42,24 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzHash$$' -fuzztime=$(FUZZTIME) ./internal/hash
 	$(GO) test -run='^$$' -fuzz='^FuzzReadAuto$$' -fuzztime=$(FUZZTIME) ./internal/trace
 
+# Experiment-suite benchmarks, snapshotted to BENCH_engine.json
+# (name → ns/op, allocs/op) with the Figure 9 speedup over the
+# pre-engine baseline recorded alongside. The full suite runs one
+# iteration per figure; the per-event predictor microbenchmarks and
+# the engine replay loop re-run at steady state ($(BENCH_COUNT)
+# counts, last measurement wins in the snapshot) since their 1x
+# numbers are pure noise. BENCH_FIG9_BASELINE_NS is the pre-engine
+# baseline's ns/op (full-suite -benchtime=1x, sequential replay path).
+BENCH_FIG9_BASELINE_NS ?= 18681932
+BENCH_COUNT ?= 3
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	{ $(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkPredict' -benchmem -count=$(BENCH_COUNT) . ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkEngineReplay$$' -benchmem ./internal/engine/ ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_engine.json \
+	    -cmd "make bench (go test -bench . -benchtime 1x -benchmem; Predict*/EngineReplay at steady state)" \
+	    -speedup BenchmarkFig9=$(BENCH_FIG9_BASELINE_NS)
+	@cat BENCH_engine.json
 
 # Per-op predictor baselines for the serving hot path.
 serve-bench:

@@ -80,6 +80,10 @@ func BenchmarkAblationIndex(b *testing.B) { runExperiment(b, "ablation-index", s
 // internal/core.Benchmark*_PredictUpdate; compare against those when
 // chasing internal/serve throughput regressions.
 
+// benchSink keeps the Predict result observable so the compiler
+// cannot treat the call as dead code and elide it.
+var benchSink uint64
+
 func benchPredictor(b *testing.B, p core.Predictor) {
 	b.Helper()
 	body := workload.LoopBody(0x1000, 2, 6, 4, 2)
@@ -89,7 +93,7 @@ func benchPredictor(b *testing.B, p core.Predictor) {
 	for i := 0; i < b.N; i++ {
 		e := events[i%len(events)]
 		if p.Predict(e.PC) == e.Value {
-			_ = e
+			benchSink++
 		}
 		p.Update(e.PC, e.Value)
 	}

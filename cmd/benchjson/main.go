@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON snapshot: benchmark name → ns/op (and allocs/op when
+// the run used -benchmem). `make bench` uses it to regenerate
+// BENCH_engine.json, the checked-in record of the sweep engine's
+// wall-clock numbers.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson \
+//	    -o BENCH_engine.json \
+//	    -cmd 'go test -bench . -benchtime 1x -benchmem .' \
+//	    -speedup BenchmarkFig9=18681932
+//
+// Each -speedup NAME=BASELINE_NS (repeatable) records the named
+// benchmark's baseline ns/op alongside the measured run and the
+// resulting speedup factor, so a perf claim lives next to the numbers
+// backing it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// speedupEntry records a measured benchmark against a stated baseline.
+type speedupEntry struct {
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// snapshot is the emitted document.
+type snapshot struct {
+	Command    string                  `json:"command,omitempty"`
+	Speedup    map[string]speedupEntry `json:"speedup,omitempty"`
+	Benchmarks map[string]result       `json:"benchmarks"`
+}
+
+// speedupFlags collects repeated -speedup NAME=BASELINE_NS flags.
+type speedupFlags map[string]float64
+
+func (s speedupFlags) String() string { return fmt.Sprint(map[string]float64(s)) }
+
+func (s speedupFlags) Set(v string) error {
+	name, ns, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=BASELINE_NS, got %q", v)
+	}
+	f, err := strconv.ParseFloat(ns, 64)
+	if err != nil {
+		return fmt.Errorf("baseline ns/op for %s: %v", name, err)
+	}
+	s[name] = f
+	return nil
+}
+
+// gomaxprocsSuffix is the -N the testing package appends to benchmark
+// names when GOMAXPROCS > 1; stripped so snapshots compare across
+// machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts per-benchmark measurements from `go test -bench`
+// output. Non-benchmark lines (goos/pkg headers, PASS, ok) are
+// ignored.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var res result
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad measurement %q: %v", name, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "allocs/op":
+				a := v
+				res.AllocsPerOp = &a
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+func run(in io.Reader, out io.Writer, cmd string, baselines speedupFlags) error {
+	benches, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	snap := snapshot{Command: cmd, Benchmarks: benches}
+	for name, base := range baselines {
+		b, ok := benches[name]
+		if !ok {
+			return fmt.Errorf("-speedup %s: benchmark not in input", name)
+		}
+		if snap.Speedup == nil {
+			snap.Speedup = make(map[string]speedupEntry)
+		}
+		snap.Speedup[name] = speedupEntry{
+			BaselineNsPerOp: base,
+			NsPerOp:         b.NsPerOp,
+			Speedup:         base / b.NsPerOp,
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	cmd := flag.String("cmd", "", "record the command that produced the input")
+	baselines := make(speedupFlags)
+	flag.Var(baselines, "speedup", "NAME=BASELINE_NS: record a speedup over a baseline (repeatable)")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(os.Stdin, out, *cmd, baselines); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig9 	       1	   9367785 ns/op	 3377848 B/op	     341 allocs/op
+BenchmarkFig6-8 	       1	   4075381 ns/op	 1153936 B/op	     187 allocs/op
+BenchmarkPredictFCM 	       1	      1523 ns/op
+BenchmarkSimulator 	       1	   2856997 ns/op	     59342 events/run	 2520800 B/op	      34 allocs/op
+PASS
+ok  	repro	3.019s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	fig9 := got["BenchmarkFig9"]
+	if fig9.NsPerOp != 9367785 {
+		t.Errorf("Fig9 ns/op = %v, want 9367785", fig9.NsPerOp)
+	}
+	if fig9.AllocsPerOp == nil || *fig9.AllocsPerOp != 341 {
+		t.Errorf("Fig9 allocs/op = %v, want 341", fig9.AllocsPerOp)
+	}
+	if _, ok := got["BenchmarkFig6"]; !ok {
+		t.Errorf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if p := got["BenchmarkPredictFCM"]; p.AllocsPerOp != nil {
+		t.Errorf("no -benchmem columns should mean no allocs/op, got %v", *p.AllocsPerOp)
+	}
+	if s := got["BenchmarkSimulator"]; s.NsPerOp != 2856997 {
+		t.Errorf("custom-metric line misparsed: %+v", s)
+	}
+}
+
+func TestRunEmitsSpeedup(t *testing.T) {
+	var sb strings.Builder
+	err := run(strings.NewReader(sampleOutput), &sb, "go test -bench .",
+		speedupFlags{"BenchmarkFig9": 18735570})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Command != "go test -bench ." {
+		t.Errorf("command = %q", snap.Command)
+	}
+	e, ok := snap.Speedup["BenchmarkFig9"]
+	if !ok {
+		t.Fatalf("no speedup entry: %s", sb.String())
+	}
+	if e.Speedup < 1.99 || e.Speedup > 2.01 {
+		t.Errorf("speedup = %v, want ~2.0", e.Speedup)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(strings.NewReader("PASS\n"), &sb, "", nil); err == nil {
+		t.Error("empty input: want error")
+	}
+	if err := run(strings.NewReader(sampleOutput), &sb, "",
+		speedupFlags{"BenchmarkNope": 1}); err == nil {
+		t.Error("unknown speedup benchmark: want error")
+	}
+}
+
+func TestSpeedupFlagParsing(t *testing.T) {
+	s := make(speedupFlags)
+	if err := s.Set("BenchmarkFig9=18681932"); err != nil {
+		t.Fatal(err)
+	}
+	if s["BenchmarkFig9"] != 18681932 {
+		t.Errorf("parsed %v", s)
+	}
+	if err := s.Set("no-equals"); err == nil {
+		t.Error("missing =: want error")
+	}
+	if err := s.Set("BenchmarkX=abc"); err == nil {
+		t.Error("bad number: want error")
+	}
+}

@@ -28,6 +28,37 @@ func TestWriteArtifacts(t *testing.T) {
 	}
 }
 
+func TestParallelRunByteIdentical(t *testing.T) {
+	ids := []string{"fig4", "fig10a", "fig17", "table1"}
+	seq, par := t.TempDir(), t.TempDir()
+	if err := run(append([]string{"-budget", "1000", "-out", seq}, ids...), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-budget", "1000", "-j", "4", "-out", par}, ids...), false); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no artifacts written")
+	}
+	for _, f := range names {
+		a, err := os.ReadFile(filepath.Join(seq, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(par, f.Name()))
+		if err != nil {
+			t.Fatalf("artifact %s missing from -j 4 run: %v", f.Name(), err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between -j 1 and -j 4 runs", f.Name())
+		}
+	}
+}
+
 func TestVerifySmallBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")

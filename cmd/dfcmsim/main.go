@@ -5,12 +5,15 @@
 // Usage:
 //
 //	dfcmsim list
-//	dfcmsim run [-budget N] [-bench a,b,...] [-csv] <id> [<id>...]
-//	dfcmsim all [-budget N] [-bench a,b,...]
+//	dfcmsim run [-budget N] [-bench a,b,...] [-csv] [-j N] <id> [<id>...]
+//	dfcmsim all [-budget N] [-bench a,b,...] [-j N]
 //
 // Experiment ids match DESIGN.md's per-experiment index (fig3,
 // fig10a, table1, ...). The budget is the per-benchmark instruction
 // count; the paper's equivalent is 200M, the default here is 1M.
+// -j N runs up to N independent experiments concurrently; output is
+// buffered per experiment and printed in request order, so stdout and
+// -out artifacts are byte-identical to a sequential run.
 package main
 
 import (
@@ -57,6 +60,7 @@ func verify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	budget := fs.Uint64("budget", 0, "instructions per benchmark (0 = default 1M)")
 	bench := fs.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+	jobs := fs.Int("j", 1, "number of experiments to run concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,18 +68,31 @@ func verify(args []string) error {
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}
+	all := experiments.All()
+	type outcome struct {
+		res *experiments.Result
+		err error
+	}
+	outs := make([]outcome, len(all))
 	var failures []string
-	for _, e := range experiments.All() {
+	err := inOrder(len(all), *jobs, func(i int) {
+		e := all[i]
 		fmt.Fprintf(os.Stderr, "verifying %s (%s)...\n", e.ID, e.Artifact)
 		res, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		outs[i] = outcome{res: res, err: err}
+	}, func(i int) error {
+		if outs[i].err != nil {
+			return fmt.Errorf("%s: %w", all[i].ID, outs[i].err)
 		}
-		for _, n := range res.Notes {
+		for _, n := range outs[i].res.Notes {
 			if strings.Contains(n, "WARNING") {
-				failures = append(failures, e.ID+": "+n)
+				failures = append(failures, all[i].ID+": "+n)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -91,9 +108,9 @@ func verify(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dfcmsim list
-  dfcmsim run [-budget N] [-bench a,b] [-csv] [-out dir] <id> [<id>...]
-  dfcmsim all [-budget N] [-bench a,b]
-  dfcmsim verify [-budget N]`)
+  dfcmsim run [-budget N] [-bench a,b] [-csv] [-out dir] [-j N] <id> [<id>...]
+  dfcmsim all [-budget N] [-bench a,b] [-j N]
+  dfcmsim verify [-budget N] [-j N]`)
 }
 
 func fatal(err error) {
@@ -122,6 +139,7 @@ func run(args []string, _ bool) error {
 	bench := fs.String("bench", "", "comma-separated benchmark subset (default: all eight)")
 	csv := fs.Bool("csv", false, "emit tables as CSV")
 	outDir := fs.String("out", "", "also write <id>.txt and <id>.<n>.csv files into this directory")
+	jobs := fs.Int("j", 1, "number of experiments to run concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,29 +156,83 @@ func run(args []string, _ bool) error {
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}
-	for _, id := range ids {
-		e, err := experiments.Get(id)
+	type outcome struct {
+		res *experiments.Result
+		err error
+	}
+	outs := make([]outcome, len(ids))
+	return inOrder(len(ids), *jobs, func(i int) {
+		// Ids resolve lazily, as in the sequential loop: everything
+		// before an unknown id still runs and prints.
+		e, err := experiments.Get(ids[i])
 		if err != nil {
-			return err
+			outs[i] = outcome{err: err}
+			return
 		}
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Artifact)
 		res, err := e.Run(cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			err = fmt.Errorf("%s: %w", ids[i], err)
+		}
+		outs[i] = outcome{res: res, err: err}
+	}, func(i int) error {
+		o := outs[i]
+		if o.err != nil {
+			return o.err
 		}
 		if *outDir != "" {
-			if err := writeArtifacts(*outDir, res); err != nil {
+			if err := writeArtifacts(*outDir, o.res); err != nil {
 				return err
 			}
 		}
 		if *csv {
-			for _, t := range res.Tables {
-				fmt.Println("#", res.ID, t.Title)
+			for _, t := range o.res.Tables {
+				fmt.Println("#", o.res.ID, t.Title)
 				fmt.Print(t.CSV())
 			}
-			continue
+			return nil
 		}
-		fmt.Println(res.String())
+		fmt.Println(o.res.String())
+		return nil
+	})
+}
+
+// inOrder runs work(i) for i in [0,n) with up to j concurrent workers
+// and calls drain(i) strictly in index order as results complete, so
+// everything written to stdout (and the -out directory) is
+// byte-identical to the sequential j=1 run. Experiments share the
+// process-wide trace cache, so concurrent runs coalesce trace
+// generation instead of duplicating it. A drain error stops
+// consumption; the process is about to exit, so in-flight workers are
+// simply abandoned.
+func inOrder(n, j int, work func(int), drain func(int) error) error {
+	if j < 1 {
+		j = 1
+	}
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	queue := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			queue <- i
+		}
+		close(queue)
+	}()
+	for w := 0; w < j; w++ {
+		go func() {
+			for i := range queue {
+				work(i)
+				close(done[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done[i]
+		if err := drain(i); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -76,6 +76,10 @@ func TestHotPathAllocHashFixture(t *testing.T) {
 	runFixture(t, "hotpath_hash.go", "repro/internal/hash", HotPathAlloc)
 }
 
+func TestHotPathAllocEngineFixture(t *testing.T) {
+	runFixture(t, "hotpath_engine.go", "repro/internal/engine", HotPathAlloc)
+}
+
 func TestProtoBoundsFixture(t *testing.T) {
 	runFixture(t, "protobounds.go", "repro/internal/serve", ProtoBounds)
 }
@@ -95,6 +99,7 @@ func TestAnalyzersScopeToTheirPackages(t *testing.T) {
 		{"purity.go", PredictPurity},
 		{"determinism.go", Determinism},
 		{"hotpath.go", HotPathAlloc},
+		{"hotpath_engine.go", HotPathAlloc},
 		{"protobounds.go", ProtoBounds},
 		{"errcheck.go", ErrorDiscipline},
 	}

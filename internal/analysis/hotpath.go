@@ -15,9 +15,14 @@ import (
 // Scope:
 //
 //   - internal/core: bodies of the per-event methods Predict,
-//     PredictConfident, Update, Score and L2Index;
+//     PredictConfident, Update, Score and L2Index, plus the top-level
+//     replay drivers Run and RunBatch;
 //   - internal/hash: every Update method plus the Fold and Mask
-//     helpers (they run once per event inside FCM/DFCM updates).
+//     helpers (they run once per event inside FCM/DFCM updates);
+//   - internal/engine: every top-level function named replay* — the
+//     sweep engine's inner loops, which feed every predictor
+//     configuration from a single trace pass and must stay
+//     allocation-free to hit the engine's ~0 allocs/op budget.
 //
 // Cold paths — constructors, Name, SizeBits, Stats — may use fmt
 // freely; they are out of scope by construction.
@@ -29,7 +34,7 @@ var HotPathAlloc = &Analyzer{
 
 var coreHotMethods = map[string]bool{
 	"Predict": true, "PredictConfident": true, "Update": true,
-	"Score": true, "L2Index": true,
+	"Score": true, "L2Index": true, "L2IndexAndUpdate": true,
 }
 
 func runHotPathAlloc(pass *Pass) {
@@ -38,19 +43,34 @@ func runHotPathAlloc(pass *Pass) {
 		methodsNamed(pass.Pkg, coreHotMethods, func(decl *ast.FuncDecl, recvType string) {
 			checkHotBody(pass, decl.Name.Name, decl.Body)
 		})
+		topLevelFuncs(pass, func(name string) bool {
+			return name == "Run" || name == "RunBatch"
+		})
 	case strings.HasSuffix(pass.Pkg.Path, "/internal/hash"):
-		methodsNamed(pass.Pkg, map[string]bool{"Update": true}, func(decl *ast.FuncDecl, recvType string) {
+		methodsNamed(pass.Pkg, map[string]bool{"Update": true, "Update32": true}, func(decl *ast.FuncDecl, recvType string) {
 			checkHotBody(pass, decl.Name.Name, decl.Body)
 		})
-		for _, f := range pass.Pkg.Files {
-			for _, d := range f.Decls {
-				decl, ok := d.(*ast.FuncDecl)
-				if !ok || decl.Recv != nil || decl.Body == nil {
-					continue
-				}
-				if decl.Name.Name == "Fold" || decl.Name.Name == "Mask" {
-					checkHotBody(pass, decl.Name.Name, decl.Body)
-				}
+		topLevelFuncs(pass, func(name string) bool {
+			return name == "Fold" || name == "Mask"
+		})
+	case strings.HasSuffix(pass.Pkg.Path, "/internal/engine"):
+		topLevelFuncs(pass, func(name string) bool {
+			return strings.HasPrefix(name, "replay")
+		})
+	}
+}
+
+// topLevelFuncs checks the bodies of non-method functions whose name
+// matches.
+func topLevelFuncs(pass *Pass, match func(string) bool) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Recv != nil || decl.Body == nil {
+				continue
+			}
+			if match(decl.Name.Name) {
+				checkHotBody(pass, decl.Name.Name, decl.Body)
 			}
 		}
 	}

@@ -1,0 +1,53 @@
+// Seeded-violation fixture for the hot-path-alloc analyzer (engine
+// scope). Loaded with import path "repro/internal/engine": the rule
+// lints every top-level replay* function — the sweep engine's inner
+// loops — and nothing else in the package.
+package engine
+
+import "fmt"
+
+type ev struct{ pc, v uint32 }
+
+type pred interface {
+	Predict(pc uint32) uint32
+	Update(pc, v uint32)
+}
+
+func replayChunks(ps []pred, events []ev) {
+	for _, e := range events {
+		for _, p := range ps {
+			defer fmt.Println(e.pc) // want hot-path-alloc
+			if p.Predict(e.pc) == e.v {
+				_ = any(e) // want hot-path-alloc
+			}
+			p.Update(e.pc, e.v)
+		}
+	}
+}
+
+func replayOne(p pred, events []ev) {
+	for _, e := range events {
+		s := fmt.Sprintf("%d", e.pc) // want hot-path-alloc
+		_ = s
+		p.Update(e.pc, e.v)
+	}
+}
+
+// buildUnits is outside the replay hot path: fmt is fine here.
+func buildUnits(names []string) []string {
+	out := make([]string, 0, len(names))
+	for i, n := range names {
+		out = append(out, fmt.Sprintf("%d:%s", i, n))
+	}
+	return out
+}
+
+// replaySuppressed demonstrates suppression on the hot path.
+func replaySuppressed(p pred, events []ev) {
+	for _, e := range events {
+		//lint:ignore hot-path-alloc fixture: debug build only
+		s := fmt.Sprintf("%d", e.pc)
+		_ = s
+		p.Update(e.pc, e.v)
+	}
+}

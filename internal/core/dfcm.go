@@ -31,6 +31,7 @@ type DFCM struct {
 	l2bits     uint
 	strideBits uint // width of strides stored in level-2 (section 4.4)
 	h          hash.Func
+	fsr        *hash.FSR // non-nil when h is an FSR with >= 8 index bits: inlined Update32 fast path
 	l1         []dfcmEntry
 	l2         []uint32 // next stride per context, truncated to strideBits
 }
@@ -71,11 +72,16 @@ func NewDFCMHash(l1bits, l2bits, strideBits uint, h hash.Func) *DFCM {
 		panic(fmt.Sprintf("core: hash produces %d-bit indices, level-2 needs %d",
 			h.IndexBits(), l2bits))
 	}
+	fsr, _ := h.(*hash.FSR)
+	if fsr != nil && fsr.IndexBits() < 8 {
+		fsr = nil // Update32 needs four chunks to cover a 32-bit value
+	}
 	return &DFCM{
 		l1bits:     l1bits,
 		l2bits:     l2bits,
 		strideBits: strideBits,
 		h:          h,
+		fsr:        fsr,
 		l1:         make([]dfcmEntry, 1<<l1bits),
 		l2:         make([]uint32, 1<<l2bits),
 	}
@@ -108,13 +114,36 @@ func (p *DFCM) Predict(pc uint32) uint32 {
 
 // Update computes the new stride (value − last), stores it in the
 // level-2 entry the prediction came from, folds it into the history,
-// and records value as the new last value.
+// and records value as the new last value. The FSR case is dispatched
+// on the concrete type so the per-event hash update inlines instead
+// of going through hash.Func.
 func (p *DFCM) Update(pc, value uint32) {
 	e := &p.l1[pcIndex(pc, p.l1bits)]
 	stride := value - e.last
 	p.l2[e.hist] = p.truncate(stride)
-	e.hist = p.h.Update(e.hist, uint64(stride))
+	if p.fsr != nil {
+		e.hist = p.fsr.Update32(e.hist, stride)
+	} else {
+		e.hist = p.h.Update(e.hist, uint64(stride))
+	}
 	e.last = value
+}
+
+// L2IndexAndUpdate is Update fused with L2Index: it applies the
+// update and returns the level-2 index it wrote to (the pre-update
+// history, exactly L2Index's answer before the same Update).
+func (p *DFCM) L2IndexAndUpdate(pc, value uint32) uint64 {
+	e := &p.l1[pcIndex(pc, p.l1bits)]
+	h := e.hist
+	stride := value - e.last
+	p.l2[h] = p.truncate(stride)
+	if p.fsr != nil {
+		e.hist = p.fsr.Update32(h, stride)
+	} else {
+		e.hist = p.h.Update(h, uint64(stride))
+	}
+	e.last = value
+	return h
 }
 
 // L2Index implements L2Indexer.

@@ -15,8 +15,9 @@ type FCM struct {
 	l1bits uint
 	l2bits uint
 	h      hash.Func
-	l1     []uint64 // hashed value history per static instruction
-	l2     []uint32 // predicted next value per context
+	fsr    *hash.FSR // non-nil when h is an FSR with >= 8 index bits: inlined Update32 fast path
+	l1     []uint64  // hashed value history per static instruction
+	l2     []uint32  // predicted next value per context
 }
 
 // NewFCM returns an FCM with 2^l1bits level-1 entries and 2^l2bits
@@ -40,10 +41,15 @@ func NewFCMHash(l1bits, l2bits uint, h hash.Func) *FCM {
 		panic(fmt.Sprintf("core: hash produces %d-bit indices, level-2 needs %d",
 			h.IndexBits(), l2bits))
 	}
+	fsr, _ := h.(*hash.FSR)
+	if fsr != nil && fsr.IndexBits() < 8 {
+		fsr = nil // Update32 needs four chunks to cover a 32-bit value
+	}
 	return &FCM{
 		l1bits: l1bits,
 		l2bits: l2bits,
 		h:      h,
+		fsr:    fsr,
 		l1:     make([]uint64, 1<<l1bits),
 		l2:     make([]uint32, 1<<l2bits),
 	}
@@ -57,11 +63,35 @@ func (p *FCM) Predict(pc uint32) uint32 {
 
 // Update writes the produced value into the level-2 entry the
 // prediction came from and appends the value to the level-1 history.
+// The FSR case is dispatched on the concrete type so the per-event
+// hash update inlines instead of going through hash.Func.
 func (p *FCM) Update(pc, value uint32) {
 	i := pcIndex(pc, p.l1bits)
 	h := p.l1[i]
 	p.l2[h] = value
-	p.l1[i] = p.h.Update(h, uint64(value))
+	if p.fsr != nil {
+		p.l1[i] = p.fsr.Update32(h, value)
+	} else {
+		p.l1[i] = p.h.Update(h, uint64(value))
+	}
+}
+
+// L2IndexAndUpdate is Update fused with L2Index: it applies the
+// update and returns the level-2 index it wrote to (derived from the
+// pre-update history, exactly L2Index's answer before the same
+// Update). Instrumentation replaying a trace once per many consumers
+// (metrics.StrideHists) uses it to halve the level-1 accesses per
+// event.
+func (p *FCM) L2IndexAndUpdate(pc, value uint32) uint64 {
+	i := pcIndex(pc, p.l1bits)
+	h := p.l1[i]
+	p.l2[h] = value
+	if p.fsr != nil {
+		p.l1[i] = p.fsr.Update32(h, value)
+	} else {
+		p.l1[i] = p.h.Update(h, uint64(value))
+	}
+	return h
 }
 
 // L2Index implements L2Indexer.

@@ -59,6 +59,14 @@ type L2Indexer interface {
 	L2Entries() int
 }
 
+// IndexedUpdater is the fused form of L2Indexer + Update: one call
+// performs the update and returns the level-2 index it wrote to,
+// saving a second level-1 lookup per event. Implemented by FCM and
+// DFCM; instrumentation loops use it when available.
+type IndexedUpdater interface {
+	L2IndexAndUpdate(pc, value uint32) uint64
+}
+
 // Resetter is implemented by predictors that can return to their
 // freshly-constructed state in place, without reallocating tables.
 // After Reset, the predictor behaves exactly like a new instance from
@@ -136,6 +144,35 @@ func Run(p Predictor, src trace.Source) Result {
 		}
 		p.Update(e.PC, e.Value)
 	}
+}
+
+// RunBatch drives p over one in-memory slice of events and returns
+// the result of exactly that slice. It is the chunked counterpart of
+// Run: callers that already hold a materialized trace avoid the
+// per-event Source.Next interface dispatch, and a sweep engine can
+// interleave many predictors over the same chunk while it is hot in
+// cache (internal/engine). Feeding consecutive chunks of a trace
+// through RunBatch and summing the results is exactly equivalent to
+// one Run over the whole trace: predictor state carries across calls
+// and Result is a plain event count.
+func RunBatch(p Predictor, batch []trace.Event) Result {
+	var res Result
+	res.Predictions = uint64(len(batch))
+	if s, ok := p.(Scorer); ok {
+		for _, e := range batch {
+			if s.Score(e.PC, e.Value) {
+				res.Correct++
+			}
+		}
+		return res
+	}
+	for _, e := range batch {
+		if p.Predict(e.PC) == e.Value {
+			res.Correct++
+		}
+		p.Update(e.PC, e.Value)
+	}
+	return res
 }
 
 // pcIndex maps a program counter to a table index of the given width.

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// batchTrace builds a deterministic mixed-pattern event stream.
+func batchTrace(n int) trace.Trace {
+	tr := make(trace.Trace, 0, n)
+	var x uint32
+	for i := 0; i < n; i++ {
+		pc := uint32(0x40 + 4*(i%11))
+		if i%4 == 0 {
+			x += 7
+		} else {
+			x = x*3 + uint32(i%6)
+		}
+		tr = append(tr, trace.Event{PC: pc, Value: x})
+	}
+	return tr
+}
+
+// TestRunBatchChunksEqualRun: feeding a trace through RunBatch in
+// chunks — predictor state carrying across calls — sums to exactly
+// one Run over the whole trace, for plain predictors, wrapped ones
+// and Scorers, at chunk sizes that do and do not divide the trace.
+func TestRunBatchChunksEqualRun(t *testing.T) {
+	tr := batchTrace(5000)
+	mks := map[string]func() Predictor{
+		"lvp":     func() Predictor { return NewLastValue(8) },
+		"stride":  func() Predictor { return NewStride(8) },
+		"fcm":     func() Predictor { return NewFCM(8, 10) },
+		"dfcm":    func() Predictor { return NewDFCM(8, 10) },
+		"delayed": func() Predictor { return NewDelayed(NewDFCM(8, 10), 32) },
+		"perfect": func() Predictor { return NewPerfectHybrid(NewStride(8), NewFCM(8, 10)) },
+	}
+	for name, mk := range mks {
+		want := Run(mk(), trace.NewReader(tr))
+		for _, chunk := range []int{1, 13, 512, len(tr), len(tr) + 1} {
+			p := mk()
+			var got Result
+			for start := 0; start < len(tr); start += chunk {
+				end := start + chunk
+				if end > len(tr) {
+					end = len(tr)
+				}
+				got.Add(RunBatch(p, tr[start:end]))
+			}
+			if got != want {
+				t.Errorf("%s chunk %d: RunBatch sum %+v, Run %+v", name, chunk, got, want)
+			}
+		}
+	}
+}
+
+// TestRunBatchEmpty: an empty batch is a no-op.
+func TestRunBatchEmpty(t *testing.T) {
+	if r := RunBatch(NewLastValue(4), nil); r != (Result{}) {
+		t.Errorf("empty batch produced %+v", r)
+	}
+}

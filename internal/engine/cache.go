@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Generator produces the trace of one benchmark under a given
+// instruction budget (typically progs.TraceFor). It must be safe for
+// concurrent use with distinct arguments.
+type Generator func(name string, budget uint64) (trace.Trace, error)
+
+// traceKey identifies one cached trace.
+type traceKey struct {
+	name   string
+	budget uint64
+}
+
+// traceEntry is one cache slot. The sync.Once gives per-key
+// singleflight: every caller of Get for the same key shares one
+// generator run, while callers for different keys proceed in
+// parallel. (The predecessor of this cache held a single mutex across
+// the whole generator run, so "concurrent" first fills for different
+// benchmarks were actually serialized.)
+type traceEntry struct {
+	once sync.Once
+	tr   trace.Trace
+	err  error
+}
+
+// derivedKey identifies one cached derived artifact: a deterministic
+// function of a cached trace, named by tag.
+type derivedKey struct {
+	traceKey
+	tag string
+}
+
+// derivedEntry mirrors traceEntry for derived artifacts.
+type derivedEntry struct {
+	once sync.Once
+	v    any
+	err  error
+}
+
+// TraceCache memoizes benchmark traces by (name, budget). Traces are
+// immutable once generated; callers must not modify the returned
+// slice.
+type TraceCache struct {
+	gen     Generator
+	mu      sync.Mutex // guards the maps (only; never held during gen/compute)
+	entries map[traceKey]*traceEntry
+	derived map[derivedKey]*derivedEntry
+}
+
+// NewTraceCache returns an empty cache backed by gen.
+func NewTraceCache(gen Generator) *TraceCache {
+	return &TraceCache{
+		gen:     gen,
+		entries: make(map[traceKey]*traceEntry),
+		derived: make(map[derivedKey]*derivedEntry),
+	}
+}
+
+// Get returns the cached trace for (name, budget), generating it on
+// the first request. Concurrent first requests for the same key
+// coalesce into one generator run; requests for different keys
+// generate concurrently.
+func (c *TraceCache) Get(name string, budget uint64) (trace.Trace, error) {
+	k := traceKey{name: name, budget: budget}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &traceEntry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = c.gen(name, budget) })
+	return e.tr, e.err
+}
+
+// Derived returns a memoized artifact computed deterministically from
+// the (name, budget) trace — e.g. the stride-oracle hit mask the
+// Figure 6/9 scans share. tag names the artifact; compute must be a
+// pure function of the trace so every caller gets the same value.
+// Same singleflight discipline as Get: one compute per key, no lock
+// held during trace generation or compute.
+func (c *TraceCache) Derived(name string, budget uint64, tag string,
+	compute func(tr trace.Trace) (any, error)) (any, error) {
+	k := derivedKey{traceKey: traceKey{name: name, budget: budget}, tag: tag}
+	c.mu.Lock()
+	e, ok := c.derived[k]
+	if !ok {
+		e = &derivedEntry{}
+		c.derived[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		tr, err := c.Get(name, budget)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.v, e.err = compute(tr)
+	})
+	return e.v, e.err
+}
+
+// Reset drops every cached trace and derived artifact. In-flight Gets
+// keep their old entries; subsequent Gets regenerate.
+func (c *TraceCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[traceKey]*traceEntry)
+	c.derived = make(map[derivedKey]*derivedEntry)
+}

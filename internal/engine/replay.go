@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// replayChunks drives every predictor over tr exactly once, in shared
+// event chunks: each chunk is fed to all predictors before the next
+// chunk is touched, so the chunk's events stay hot in cache across
+// the whole sweep while each predictor's own batch runs without
+// per-event Source dispatch (core.RunBatch). Summing per-chunk
+// results is exactly one core.Run per predictor, because predictor
+// state carries across chunks and results are plain counters.
+//
+// This is the engine's per-event-chunk hot path: vplint's
+// hot-path-alloc rule lints every replay* function in this package,
+// so the loop body must stay free of fmt, reflect, defer, goroutine
+// launches and interface boxing.
+func replayChunks(preds []core.Predictor, results []core.Result, tr trace.Trace, chunk int) {
+	for start := 0; start < len(tr); start += chunk {
+		end := start + chunk
+		if end > len(tr) {
+			end = len(tr)
+		}
+		batch := tr[start:end]
+		for i, p := range preds {
+			r := core.RunBatch(p, batch)
+			results[i].Predictions += r.Predictions
+			results[i].Correct += r.Correct
+		}
+	}
+}

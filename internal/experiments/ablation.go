@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hash"
 	"repro/internal/metrics"
 )
@@ -18,20 +19,26 @@ func runAblationHash(cfg Config) (*Result, error) {
 	t := &metrics.Table{Headers: []string{"k (shift)", "order", "FCM", "DFCM"}}
 	const l2 = 12
 	bestK, bestAcc := 0, 0.0
-	for _, k := range []uint{1, 2, 3, 4, 5, 6, 8, 12} {
+	ks := []uint{1, 2, 3, 4, 5, 6, 8, 12}
+	s := newSweep(cfg)
+	type pair struct{ f, d *engine.Job }
+	pairs := make([]pair, len(ks))
+	for i, k := range ks {
 		k := k
-		f, err := weighted(cfg, func() core.Predictor {
-			return core.NewFCMHash(16, l2, hash.NewFSR(l2, k))
-		})
-		if err != nil {
-			return nil, err
+		pairs[i] = pair{
+			f: s.Add(func() core.Predictor {
+				return core.NewFCMHash(16, l2, hash.NewFSR(l2, k))
+			}),
+			d: s.Add(func() core.Predictor {
+				return core.NewDFCMHash(16, l2, 32, hash.NewFSR(l2, k))
+			}),
 		}
-		d, err := weighted(cfg, func() core.Predictor {
-			return core.NewDFCMHash(16, l2, 32, hash.NewFSR(l2, k))
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, k := range ks {
+		f, d := pairs[i].f.Weighted(), pairs[i].d.Weighted()
 		if d > bestAcc {
 			bestAcc, bestK = d, int(k)
 		}
@@ -50,18 +57,24 @@ func runAblationHash(cfg Config) (*Result, error) {
 func runAblationOrder(cfg Config) (*Result, error) {
 	res := &Result{ID: "ablation-order", Title: "effective history order vs accuracy (DFCM, 2^16 level-1)"}
 	t := &metrics.Table{Headers: []string{"log2(l2)", "order(k=5)", "DFCM k=5", "order(k=3)", "DFCM k=3"}}
-	for _, l2 := range []uint{10, 12, 14, 16} {
+	l2s := []uint{10, 12, 14, 16}
+	s := newSweep(cfg)
+	type pair struct{ d5, d3 *engine.Job }
+	pairs := make([]pair, len(l2s))
+	for i, l2 := range l2s {
 		l2 := l2
-		d5, err := weighted(cfg, func() core.Predictor { return core.NewDFCM(16, l2) })
-		if err != nil {
-			return nil, err
+		pairs[i] = pair{
+			d5: s.Add(func() core.Predictor { return core.NewDFCM(16, l2) }),
+			d3: s.Add(func() core.Predictor {
+				return core.NewDFCMHash(16, l2, 32, hash.NewFSR(l2, 3))
+			}),
 		}
-		d3, err := weighted(cfg, func() core.Predictor {
-			return core.NewDFCMHash(16, l2, 32, hash.NewFSR(l2, 3))
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, l2 := range l2s {
+		d5, d3 := pairs[i].d5.Weighted(), pairs[i].d3.Weighted()
 		t.AddRow(fmt.Sprint(l2),
 			fmt.Sprint(hash.NewFSR(l2, 5).Order()), metrics.F(d5),
 			fmt.Sprint(hash.NewFSR(l2, 3).Order()), metrics.F(d3))
@@ -76,25 +89,28 @@ func runAblationOrder(cfg Config) (*Result, error) {
 func runAblationMeta(cfg Config) (*Result, error) {
 	res := &Result{ID: "ablation-meta", Title: "perfect vs saturating-counter meta-predictor (stride 2^16 + FCM 2^16/l2)"}
 	t := &metrics.Table{Headers: []string{"log2(l2)", "DFCM", "perfect hybrid", "counter hybrid"}}
-	for _, l2 := range []uint{10, 12, 14} {
+	l2s := []uint{10, 12, 14}
+	s := newSweep(cfg)
+	type trio struct{ d, ph, mh *engine.Job }
+	trios := make([]trio, len(l2s))
+	for i, l2 := range l2s {
 		l2 := l2
-		d, err := weighted(cfg, func() core.Predictor { return core.NewDFCM(16, l2) })
-		if err != nil {
-			return nil, err
+		trios[i] = trio{
+			d: s.Add(func() core.Predictor { return core.NewDFCM(16, l2) }),
+			ph: s.Add(func() core.Predictor {
+				return core.NewPerfectHybrid(core.NewStride(16), core.NewFCM(16, l2))
+			}),
+			mh: s.Add(func() core.Predictor {
+				return core.NewMetaHybrid(core.NewStride(16), core.NewFCM(16, l2), 16)
+			}),
 		}
-		ph, err := weighted(cfg, func() core.Predictor {
-			return core.NewPerfectHybrid(core.NewStride(16), core.NewFCM(16, l2))
-		})
-		if err != nil {
-			return nil, err
-		}
-		mh, err := weighted(cfg, func() core.Predictor {
-			return core.NewMetaHybrid(core.NewStride(16), core.NewFCM(16, l2), 16)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(l2), metrics.F(d), metrics.F(ph), metrics.F(mh))
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, l2 := range l2s {
+		t.AddRow(fmt.Sprint(l2), metrics.F(trios[i].d.Weighted()),
+			metrics.F(trios[i].ph.Weighted()), metrics.F(trios[i].mh.Weighted()))
 	}
 	res.Tables = append(res.Tables, t)
 	res.addNote("a realizable counter meta-predictor sits below the perfect hybrid; DFCM needs no meta-predictor at all")

@@ -59,27 +59,37 @@ func runExtConfidence(cfg Config) (*Result, error) {
 		cov, acc float64
 	}
 	var tagBest, ctrBest row
-	for _, s := range schemes {
+	// RunConfident needs the estimator's full per-event protocol, so
+	// each scheme rides the shared trace pass as a per-benchmark scan.
+	s := newSweep(cfg)
+	perBench := make([][]core.ConfidenceResult, len(schemes))
+	for si, sc := range schemes {
+		si, sc := si, sc
+		perBench[si] = make([]core.ConfidenceResult, len(cfg.benchmarks()))
+		s.AddScan(func(i int, bench string, tr trace.Trace) error {
+			perBench[si][i] = core.RunConfident(sc.mk(), trace.NewReader(tr))
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for si, sc := range schemes {
 		var agg core.ConfidenceResult
-		for _, bench := range cfg.benchmarks() {
-			tr, err := traceFor(bench, cfg.budget())
-			if err != nil {
-				return nil, err
-			}
-			r := core.RunConfident(s.mk(), trace.NewReader(tr))
+		for _, r := range perBench[si] {
 			agg.All.Add(r.All)
 			agg.Confident.Add(r.Confident)
 		}
-		p := s.mk()
+		p := sc.mk()
 		extra := p.SizeBits() - core.NewDFCM(16, 12).SizeBits()
-		t.AddRow(s.name, metrics.F(agg.Coverage()),
+		t.AddRow(sc.name, metrics.F(agg.Coverage()),
 			metrics.F(agg.Confident.Accuracy()), metrics.F(agg.All.Accuracy()),
 			metrics.Kbit(extra))
 		r := row{cov: agg.Coverage(), acc: agg.Confident.Accuracy()}
-		if s.name == "hash tag 8b (R-3)" {
+		if sc.name == "hash tag 8b (R-3)" {
 			tagBest = r
 		}
-		if s.name == "counter 4b t=8" {
+		if sc.name == "counter 4b t=8" {
 			ctrBest = r
 		}
 	}

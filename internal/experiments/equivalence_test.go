@@ -1,0 +1,46 @@
+package experiments
+
+// The engine port's correctness contract: every experiment renders
+// byte-identical output whether it runs through the chunked,
+// worker-pooled engine or the pre-engine sequential reference path
+// (engine.Options.Reference). All experiment accumulation is integer
+// arithmetic into index-addressed slots read back in submission
+// order, so scheduling cannot perturb output; this test pins that
+// invariant for the whole registry.
+
+import (
+	"testing"
+)
+
+func TestEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry equivalence run")
+	}
+	cfg := Config{Budget: 50_000, Benchmarks: []string{"li", "m88ksim", "go"}}
+
+	run := func(reference bool) map[string]string {
+		saved := engineOpts
+		engineOpts = saved
+		engineOpts.Reference = reference
+		defer func() { engineOpts = saved }()
+		ResetCache()
+		out := make(map[string]string)
+		for _, e := range All() {
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s (reference=%v): %v", e.ID, reference, err)
+			}
+			out[e.ID] = res.String()
+		}
+		return out
+	}
+
+	want := run(true)
+	got := run(false)
+	for _, e := range All() {
+		if got[e.ID] != want[e.ID] {
+			t.Errorf("%s: engine output differs from sequential reference path\n--- reference ---\n%s\n--- engine ---\n%s",
+				e.ID, want[e.ID], got[e.ID])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/progs"
 	"repro/internal/trace"
@@ -124,67 +125,50 @@ func Get(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// trace cache, keyed by benchmark and budget, so that sweeps over
-// dozens of predictor configurations regenerate each trace once.
-var (
-	cacheMu    sync.Mutex
-	traceCache = map[string]trace.Trace{}
-)
+// traceCache memoizes benchmark traces by (name, budget) with
+// per-key singleflight, so that sweeps over dozens of predictor
+// configurations regenerate each trace once and concurrent first
+// fills for distinct benchmarks generate in parallel.
+var traceCache = engine.NewTraceCache(progs.TraceFor)
 
 // traceFor returns the (cached) trace of one benchmark.
 func traceFor(name string, budget uint64) (trace.Trace, error) {
-	key := fmt.Sprintf("%s@%d", name, budget)
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if tr, ok := traceCache[key]; ok {
-		return tr, nil
-	}
-	tr, err := progs.TraceFor(name, budget)
-	if err != nil {
-		return nil, err
-	}
-	traceCache[key] = tr
-	return tr, nil
+	return traceCache.Get(name, budget)
 }
 
 // ResetCache drops all cached traces (used by benchmarks that vary
 // the budget).
 func ResetCache() {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	traceCache = map[string]trace.Trace{}
+	traceCache.Reset()
 }
 
-// sweep runs a fresh predictor (from mk) over every configured
-// benchmark — one goroutine per benchmark, since each gets its own
-// predictor instance and traces are immutable once cached — and
-// returns the per-benchmark results in benchmark order.
+// engineOpts configures every sweep the experiments run. The zero
+// value is the production engine (chunked single-pass replay on a
+// bounded pool); the equivalence tests flip Reference on to re-run
+// every experiment through the sequential per-event path and compare
+// artifacts byte for byte.
+var engineOpts engine.Options
+
+// newSweep returns an engine sweep over cfg's benchmark set and
+// budget, backed by the shared trace cache. Experiments register all
+// their predictor configurations (and scans) first, call Run once,
+// and then read results — so every configuration is fed from a single
+// replay of each benchmark's trace.
+func newSweep(cfg Config) *engine.Sweep {
+	return engine.NewSweep(engineOpts, traceCache, cfg.benchmarks(), cfg.budget())
+}
+
+// sweep runs one predictor configuration over every configured
+// benchmark and returns the per-benchmark results in benchmark order.
+// Single-configuration convenience over newSweep; multi-configuration
+// experiments batch their configs into one engine sweep instead.
 func sweep(cfg Config, mk func() core.Predictor) ([]metrics.BenchResult, error) {
-	names := cfg.benchmarks()
-	out := make([]metrics.BenchResult, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		i, name := i, name
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			tr, err := traceFor(name, cfg.budget())
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res := core.Run(mk(), trace.NewReader(tr))
-			out[i] = metrics.BenchResult{Benchmark: name, Result: res}
-		}()
+	s := newSweep(cfg)
+	j := s.Add(mk)
+	if err := s.Run(); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return j.PerBench(), nil
 }
 
 // weighted runs a sweep and returns only the weighted-mean accuracy.

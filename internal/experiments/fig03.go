@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -11,34 +12,44 @@ import (
 var fcmL1Sweep = []uint{0, 4, 6, 8, 10, 12, 14, 16}
 
 // fig3Points computes the (size, accuracy) points for every predictor
-// family of Figure 3. Shared with fig11b's Pareto construction.
+// family of Figure 3. Shared with fig11b's Pareto construction. All
+// configurations go into one engine sweep, so the whole grid is fed
+// from a single replay of each benchmark's trace.
 func fig3Points(cfg Config) (lvp, stride, fcm []metrics.Point, err error) {
+	s := newSweep(cfg)
+	point := func(p core.Predictor, j *engine.Job) metrics.Point {
+		return metrics.Point{Name: p.Name(), SizeBits: p.SizeBits(), Accuracy: j.Weighted()}
+	}
+	type pending struct {
+		p   core.Predictor // probe instance for Name/SizeBits, never run
+		job *engine.Job
+	}
+	var lvpJobs, strideJobs, fcmJobs []pending
 	for _, bits := range lvpStrideSweep {
 		b := bits
-		acc, err := weighted(cfg, func() core.Predictor { return core.NewLastValue(b) })
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		p := core.NewLastValue(b)
-		lvp = append(lvp, metrics.Point{Name: p.Name(), SizeBits: p.SizeBits(), Accuracy: acc})
-
-		acc, err = weighted(cfg, func() core.Predictor { return core.NewStride(b) })
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		s := core.NewStride(b)
-		stride = append(stride, metrics.Point{Name: s.Name(), SizeBits: s.SizeBits(), Accuracy: acc})
+		lvpJobs = append(lvpJobs, pending{core.NewLastValue(b),
+			s.Add(func() core.Predictor { return core.NewLastValue(b) })})
+		strideJobs = append(strideJobs, pending{core.NewStride(b),
+			s.Add(func() core.Predictor { return core.NewStride(b) })})
 	}
 	for _, l1 := range fcmL1Sweep {
 		for _, l2 := range l2Sweep {
 			l1, l2 := l1, l2
-			acc, err := weighted(cfg, func() core.Predictor { return core.NewFCM(l1, l2) })
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			f := core.NewFCM(l1, l2)
-			fcm = append(fcm, metrics.Point{Name: f.Name(), SizeBits: f.SizeBits(), Accuracy: acc})
+			fcmJobs = append(fcmJobs, pending{core.NewFCM(l1, l2),
+				s.Add(func() core.Predictor { return core.NewFCM(l1, l2) })})
 		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range lvpJobs {
+		lvp = append(lvp, point(e.p, e.job))
+	}
+	for _, e := range strideJobs {
+		stride = append(stride, point(e.p, e.job))
+	}
+	for _, e := range fcmJobs {
+		fcm = append(fcm, point(e.p, e.job))
 	}
 	return lvp, stride, fcm, nil
 }

@@ -9,16 +9,27 @@ import (
 	"repro/internal/trace"
 )
 
+// fig69Benches are the two benchmarks the paper plots in Figures 6
+// and 9.
+var fig69Benches = []string{"norm", "li"}
+
+// fig69Budget is the per-benchmark budget of the Figure 6/9
+// instrumentation: norm runs to completion, as in the paper.
+func fig69Budget(cfg Config, bench string) uint64 {
+	if bench == "norm" {
+		return 0
+	}
+	return cfg.budget()
+}
+
 // strideHistFor runs the Figure 6/9 instrumentation over one
 // benchmark: a 2^16-entry level-1, 4096-entry level-2 predictor with
 // a 64K-entry stride-predictor oracle, counting stride-pattern
-// accesses per level-2 entry.
+// accesses per level-2 entry. This is the per-predictor reference
+// path; the engine-backed experiments use strideHistsFor, which
+// builds both histograms from a single pass.
 func strideHistFor(cfg Config, bench string, differential bool) (metrics.Histogram, error) {
-	budget := cfg.budget()
-	if bench == "norm" {
-		budget = 0 // norm runs to completion, as in the paper
-	}
-	tr, err := traceFor(bench, budget)
+	tr, err := traceFor(bench, fig69Budget(cfg, bench))
 	if err != nil {
 		return nil, err
 	}
@@ -30,6 +41,38 @@ func strideHistFor(cfg Config, bench string, differential bool) (metrics.Histogr
 	}
 	h := metrics.NewStrideHist(4096, 16)
 	return h.Run(p, trace.NewReader(tr)), nil
+}
+
+// strideOracleHits returns a benchmark's trace plus the 2^16-entry
+// stride-oracle hit mask over it. The mask is a pure function of the
+// trace, so it is memoized next to the trace itself
+// (TraceCache.Derived) and shared by Figures 6 and 9 across runs.
+func strideOracleHits(cfg Config, bench string) (trace.Trace, []bool, error) {
+	budget := fig69Budget(cfg, bench)
+	tr, err := traceFor(bench, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := traceCache.Derived(bench, budget, "stride-hits-2^16",
+		func(tr trace.Trace) (any, error) {
+			return metrics.StrideHits(16, tr), nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, v.([]bool), nil
+}
+
+// strideHistsFor computes the FCM and the DFCM histogram of one
+// benchmark from a single trace pass with a shared oracle mask;
+// bit-identical to two strideHistFor runs.
+func strideHistsFor(cfg Config, bench string) (fcm, dfcm metrics.Histogram, err error) {
+	tr, hits, err := strideOracleHits(cfg, bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := metrics.StrideHistsFromHits(hits, tr, core.NewFCM(16, 12), core.NewDFCM(16, 12))
+	return hs[0], hs[1], nil
 }
 
 func histTable(title string, hists map[string]metrics.Histogram, order []string) *metrics.Table {
@@ -78,11 +121,29 @@ func summarizeHist(res *Result, label string, g metrics.Histogram) {
 
 func runFig6(cfg Config) (*Result, error) {
 	res := &Result{ID: "fig6", Title: "stride accesses per (sorted) FCM level-2 entry: norm and li"}
-	for _, bench := range []string{"norm", "li"} {
-		g, err := strideHistFor(cfg, bench, false)
-		if err != nil {
-			return nil, err
-		}
+	hists := make([]metrics.Histogram, len(fig69Benches))
+	s := newSweep(cfg)
+	for i, bench := range fig69Benches {
+		i, bench := i, bench
+		s.AddTask(func() error {
+			if engineOpts.Reference {
+				g, err := strideHistFor(cfg, bench, false)
+				hists[i] = g
+				return err
+			}
+			tr, hits, err := strideOracleHits(cfg, bench)
+			if err != nil {
+				return err
+			}
+			hists[i] = metrics.StrideHistsFromHits(hits, tr, core.NewFCM(16, 12))[0]
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, bench := range fig69Benches {
+		g := hists[i]
 		res.Tables = append(res.Tables,
 			histTable(fmt.Sprintf("FCM, %s (sorted descending)", bench),
 				map[string]metrics.Histogram{"FCM": g}, []string{"FCM"}))
@@ -93,15 +154,37 @@ func runFig6(cfg Config) (*Result, error) {
 
 func runFig9(cfg Config) (*Result, error) {
 	res := &Result{ID: "fig9", Title: "stride accesses per (sorted) level-2 entry: FCM vs DFCM"}
-	for _, bench := range []string{"norm", "li"} {
-		fg, err := strideHistFor(cfg, bench, false)
-		if err != nil {
-			return nil, err
-		}
-		dg, err := strideHistFor(cfg, bench, true)
-		if err != nil {
-			return nil, err
-		}
+	type histPair struct{ f, d metrics.Histogram }
+	hists := make([]histPair, len(fig69Benches))
+	s := newSweep(cfg)
+	for i, bench := range fig69Benches {
+		i, bench := i, bench
+		s.AddTask(func() error {
+			if engineOpts.Reference {
+				fg, err := strideHistFor(cfg, bench, false)
+				if err != nil {
+					return err
+				}
+				dg, err := strideHistFor(cfg, bench, true)
+				if err != nil {
+					return err
+				}
+				hists[i] = histPair{f: fg, d: dg}
+				return nil
+			}
+			fg, dg, err := strideHistsFor(cfg, bench)
+			if err != nil {
+				return err
+			}
+			hists[i] = histPair{f: fg, d: dg}
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, bench := range fig69Benches {
+		fg, dg := hists[i].f, hists[i].d
 		res.Tables = append(res.Tables,
 			histTable(fmt.Sprintf("%s (sorted descending)", bench),
 				map[string]metrics.Histogram{"FCM": fg, "DFCM": dg}, []string{"FCM", "DFCM"}))

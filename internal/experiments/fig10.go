@@ -4,24 +4,30 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
 func runFig10a(cfg Config) (*Result, error) {
 	res := &Result{ID: "fig10a", Title: "FCM vs DFCM accuracy vs level-2 size (2^16 level-1 entries)"}
 	t := &metrics.Table{Headers: []string{"log2(l2 entries)", "FCM", "DFCM", "DFCM/FCM"}}
+	s := newSweep(cfg)
+	type pair struct{ f, d *engine.Job }
+	pairs := make([]pair, len(l2Sweep))
+	for i, l2 := range l2Sweep {
+		l2 := l2
+		pairs[i] = pair{
+			f: s.Add(func() core.Predictor { return core.NewFCM(16, l2) }),
+			d: s.Add(func() core.Predictor { return core.NewDFCM(16, l2) }),
+		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
 	var xs, fcmYs, dfcmYs []float64
 	var maxGain, smallGap, largeGap float64
-	for _, l2 := range l2Sweep {
-		l2 := l2
-		f, err := weighted(cfg, func() core.Predictor { return core.NewFCM(16, l2) })
-		if err != nil {
-			return nil, err
-		}
-		d, err := weighted(cfg, func() core.Predictor { return core.NewDFCM(16, l2) })
-		if err != nil {
-			return nil, err
-		}
+	for i, l2 := range l2Sweep {
+		f, d := pairs[i].f.Weighted(), pairs[i].d.Weighted()
 		gain := 0.0
 		if f > 0 {
 			gain = d / f
@@ -57,14 +63,13 @@ func runFig10a(cfg Config) (*Result, error) {
 func runFig10b(cfg Config) (*Result, error) {
 	res := &Result{ID: "fig10b", Title: "per-benchmark accuracy, FCM vs DFCM (2^16 level-1, 2^12 level-2)"}
 	t := &metrics.Table{Headers: []string{"benchmark", "FCM", "DFCM", "rel.gain"}}
-	fper, err := sweep(cfg, func() core.Predictor { return core.NewFCM(16, 12) })
-	if err != nil {
+	s := newSweep(cfg)
+	fj := s.Add(func() core.Predictor { return core.NewFCM(16, 12) })
+	dj := s.Add(func() core.Predictor { return core.NewDFCM(16, 12) })
+	if err := s.Run(); err != nil {
 		return nil, err
 	}
-	dper, err := sweep(cfg, func() core.Predictor { return core.NewDFCM(16, 12) })
-	if err != nil {
-		return nil, err
-	}
+	fper, dper := fj.PerBench(), dj.PerBench()
 	allImproved := true
 	for i := range fper {
 		f, d := fper[i].Result.Accuracy(), dper[i].Result.Accuracy()

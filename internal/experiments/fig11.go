@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -11,21 +12,31 @@ import (
 var dfcmL1Sweep = []uint{10, 12, 14, 16}
 
 // fig11aPoints computes the DFCM (size, accuracy) points per level-1
-// size. Shared with fig11b.
+// size, batching the whole grid into one engine sweep. Shared with
+// fig11b.
 func fig11aPoints(cfg Config) (map[uint][]metrics.Point, error) {
-	out := make(map[uint][]metrics.Point)
+	s := newSweep(cfg)
+	type pending struct {
+		l1  uint
+		p   core.Predictor
+		job *engine.Job
+	}
+	var jobs []pending
 	for _, l1 := range dfcmL1Sweep {
 		for _, l2 := range l2Sweep {
 			l1, l2 := l1, l2
-			acc, err := weighted(cfg, func() core.Predictor { return core.NewDFCM(l1, l2) })
-			if err != nil {
-				return nil, err
-			}
-			p := core.NewDFCM(l1, l2)
-			out[l1] = append(out[l1], metrics.Point{
-				Name: p.Name(), SizeBits: p.SizeBits(), Accuracy: acc,
-			})
+			jobs = append(jobs, pending{l1, core.NewDFCM(l1, l2),
+				s.Add(func() core.Predictor { return core.NewDFCM(l1, l2) })})
 		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	out := make(map[uint][]metrics.Point)
+	for _, e := range jobs {
+		out[e.l1] = append(out[e.l1], metrics.Point{
+			Name: e.p.Name(), SizeBits: e.p.SizeBits(), Accuracy: e.job.Weighted(),
+		})
 	}
 	return out, nil
 }

@@ -21,15 +21,38 @@ func aliasRun(cfg Config, bench string, differential bool) (*alias.Analyzer, err
 	return an, nil
 }
 
+// aliasRuns classifies every benchmark's trace, one sweep task per
+// benchmark, and returns the per-benchmark category counts in
+// cfg.benchmarks() order.
+func aliasRuns(cfg Config, differential bool) ([][alias.NumKinds]core.Result, error) {
+	benches := cfg.benchmarks()
+	counts := make([][alias.NumKinds]core.Result, len(benches))
+	s := newSweep(cfg)
+	for i, bench := range benches {
+		i, bench := i, bench
+		s.AddTask(func() error {
+			an, err := aliasRun(cfg, bench, differential)
+			if err != nil {
+				return err
+			}
+			counts[i] = an.Counts()
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
 // aliasTotals sums per-category results over all benchmarks.
 func aliasTotals(cfg Config, differential bool) ([alias.NumKinds]core.Result, error) {
 	var totals [alias.NumKinds]core.Result
-	for _, bench := range cfg.benchmarks() {
-		an, err := aliasRun(cfg, bench, differential)
-		if err != nil {
-			return totals, err
-		}
-		c := an.Counts()
+	counts, err := aliasRuns(cfg, differential)
+	if err != nil {
+		return totals, err
+	}
+	for _, c := range counts {
 		for k := range totals {
 			totals[k].Add(c[k])
 		}
@@ -121,12 +144,12 @@ func aliasMixTable(cfg Config, differential, wrongOnly bool) (*metrics.Table, [a
 		cells = append(cells, metrics.F(totalFrac))
 		t.AddRow(cells...)
 	}
-	for _, bench := range cfg.benchmarks() {
-		an, err := aliasRun(cfg, bench, differential)
-		if err != nil {
-			return nil, totals, err
-		}
-		c := an.Counts()
+	counts, err := aliasRuns(cfg, differential)
+	if err != nil {
+		return nil, totals, err
+	}
+	for i, bench := range cfg.benchmarks() {
+		c := counts[i]
 		row(bench, c)
 		for k := range totals {
 			totals[k].Add(c[k])

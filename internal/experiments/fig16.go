@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -15,28 +16,28 @@ func runFig16(cfg Config) (*Result, error) {
 	var maxTopGap float64
 	var xs []float64
 	ys := make([][]float64, 4)
-	for _, l2 := range l2Sweep {
+	s := newSweep(cfg)
+	type row struct{ f, d, sf, sd *engine.Job }
+	rows := make([]row, len(l2Sweep))
+	for i, l2 := range l2Sweep {
 		l2 := l2
-		f, err := weighted(cfg, func() core.Predictor { return core.NewFCM(16, l2) })
-		if err != nil {
-			return nil, err
+		rows[i] = row{
+			f: s.Add(func() core.Predictor { return core.NewFCM(16, l2) }),
+			d: s.Add(func() core.Predictor { return core.NewDFCM(16, l2) }),
+			sf: s.Add(func() core.Predictor {
+				return core.NewPerfectHybrid(core.NewStride(16), core.NewFCM(16, l2))
+			}),
+			sd: s.Add(func() core.Predictor {
+				return core.NewPerfectHybrid(core.NewStride(16), core.NewDFCM(16, l2))
+			}),
 		}
-		d, err := weighted(cfg, func() core.Predictor { return core.NewDFCM(16, l2) })
-		if err != nil {
-			return nil, err
-		}
-		sf, err := weighted(cfg, func() core.Predictor {
-			return core.NewPerfectHybrid(core.NewStride(16), core.NewFCM(16, l2))
-		})
-		if err != nil {
-			return nil, err
-		}
-		sd, err := weighted(cfg, func() core.Predictor {
-			return core.NewPerfectHybrid(core.NewStride(16), core.NewDFCM(16, l2))
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, l2 := range l2Sweep {
+		f, d := rows[i].f.Weighted(), rows[i].d.Weighted()
+		sf, sd := rows[i].sf.Weighted(), rows[i].sd.Weighted()
 		if d < sf {
 			dfcmBeatsHybrid = false
 		}

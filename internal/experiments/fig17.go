@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -15,20 +16,25 @@ func runFig17(cfg Config) (*Result, error) {
 	t := &metrics.Table{Headers: []string{"delay (instructions)", "FCM", "DFCM"}}
 	var xs, fYs, dYs []float64
 	var f0, fN, d0, dN float64
-	for _, delay := range delaySweep {
+	s := newSweep(cfg)
+	type pair struct{ f, d *engine.Job }
+	pairs := make([]pair, len(delaySweep))
+	for i, delay := range delaySweep {
 		delay := delay
-		f, err := weighted(cfg, func() core.Predictor {
-			return core.NewDelayed(core.NewFCM(16, 12), delay)
-		})
-		if err != nil {
-			return nil, err
+		pairs[i] = pair{
+			f: s.Add(func() core.Predictor {
+				return core.NewDelayed(core.NewFCM(16, 12), delay)
+			}),
+			d: s.Add(func() core.Predictor {
+				return core.NewDelayed(core.NewDFCM(16, 12), delay)
+			}),
 		}
-		d, err := weighted(cfg, func() core.Predictor {
-			return core.NewDelayed(core.NewDFCM(16, 12), delay)
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, delay := range delaySweep {
+		f, d := pairs[i].f.Weighted(), pairs[i].d.Weighted()
 		if delay == 0 {
 			f0, d0 = f, d
 		}

@@ -22,29 +22,41 @@ func runExtILP(cfg Config) (*Result, error) {
 		"DFCM speedup", "oracle speedup"}}
 
 	var worstSpeedup = 1e9
-	for _, bench := range cfg.benchmarks() {
-		p, err := progs.Program(bench)
-		if err != nil {
-			return nil, err
-		}
-		budget := cfg.budget()
-		const width = 64 // generous fetch bandwidth, the model's only resource limit
-		base, err := ilp.MeasureWidth(p, budget, nil, width)
-		if err != nil {
-			return nil, err
-		}
-		stride, err := ilp.MeasureWidth(p, budget, core.NewStride(16), width)
-		if err != nil {
-			return nil, err
-		}
-		dfcm, err := ilp.MeasureWidth(p, budget, core.NewDFCM(16, 12), width)
-		if err != nil {
-			return nil, err
-		}
-		orc, err := ilp.MeasureWidth(p, budget, ilp.Oracle, width)
-		if err != nil {
-			return nil, err
-		}
+	benches := cfg.benchmarks()
+	type cell struct{ base, stride, dfcm, orc ilp.Result }
+	cells := make([]cell, len(benches))
+	s := newSweep(cfg)
+	for i, bench := range benches {
+		i, bench := i, bench
+		s.AddTask(func() error {
+			p, err := progs.Program(bench)
+			if err != nil {
+				return err
+			}
+			budget := cfg.budget()
+			const width = 64 // generous fetch bandwidth, the model's only resource limit
+			var c cell
+			if c.base, err = ilp.MeasureWidth(p, budget, nil, width); err != nil {
+				return err
+			}
+			if c.stride, err = ilp.MeasureWidth(p, budget, core.NewStride(16), width); err != nil {
+				return err
+			}
+			if c.dfcm, err = ilp.MeasureWidth(p, budget, core.NewDFCM(16, 12), width); err != nil {
+				return err
+			}
+			if c.orc, err = ilp.MeasureWidth(p, budget, ilp.Oracle, width); err != nil {
+				return err
+			}
+			cells[i] = c
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		base, stride, dfcm, orc := cells[i].base, cells[i].stride, cells[i].dfcm, cells[i].orc
 		speedup := dfcm.ILP() / base.ILP()
 		if speedup < worstSpeedup {
 			worstSpeedup = speedup

@@ -40,15 +40,31 @@ func runAblationIndex(cfg Config) (*Result, error) {
 		{"stride-2^6", func() core.Predictor { return core.NewStride(6) }},
 		{"dfcm-2^6/2^12", func() core.Predictor { return core.NewDFCM(6, 12) }},
 	}
-	for _, k := range kinds {
-		var aligned, raw core.Result
-		for _, bench := range cfg.benchmarks() {
-			tr, err := traceFor(bench, cfg.budget())
-			if err != nil {
-				return nil, err
+	// Each kind runs twice per benchmark (aligned and shifted PCs); the
+	// shifted replay is a derived trace, so both ride as scans of the
+	// shared pass.
+	type cell struct{ aligned, raw core.Result }
+	cells := make([][]cell, len(kinds))
+	s := newSweep(cfg)
+	for ki, k := range kinds {
+		ki, k := ki, k
+		cells[ki] = make([]cell, len(cfg.benchmarks()))
+		s.AddScan(func(i int, bench string, tr trace.Trace) error {
+			cells[ki][i] = cell{
+				aligned: core.Run(k.mk(), trace.NewReader(tr)),
+				raw:     core.Run(k.mk(), trace.NewReader(shiftPCs(tr))),
 			}
-			aligned.Add(core.Run(k.mk(), trace.NewReader(tr)))
-			raw.Add(core.Run(k.mk(), trace.NewReader(shiftPCs(tr))))
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for ki, k := range kinds {
+		var aligned, raw core.Result
+		for _, c := range cells[ki] {
+			aligned.Add(c.aligned)
+			raw.Add(c.raw)
 		}
 		t.AddRow(k.name, metrics.F(aligned.Accuracy()), metrics.F(raw.Accuracy()),
 			fmt.Sprintf("%+.3f", raw.Accuracy()-aligned.Accuracy()))

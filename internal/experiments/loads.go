@@ -5,6 +5,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/progs"
+	"repro/internal/trace"
 )
 
 // loadPCs returns the set of text addresses holding load instructions
@@ -37,14 +38,13 @@ func runExtLoads(cfg Config) (*Result, error) {
 	t := &metrics.Table{Headers: []string{
 		"benchmark", "load frac", "acc (loads)", "acc (non-loads)", "acc (all)"}}
 	var totLoads, totAll core.Result
-	for _, bench := range cfg.benchmarks() {
+	type cell struct{ loadRes, otherRes core.Result }
+	cells := make([]cell, len(cfg.benchmarks()))
+	s := newSweep(cfg)
+	s.AddScan(func(i int, bench string, tr trace.Trace) error {
 		loads, err := loadPCs(bench)
 		if err != nil {
-			return nil, err
-		}
-		tr, err := traceFor(bench, cfg.budget())
-		if err != nil {
-			return nil, err
+			return err
 		}
 		// One predictor sees the whole stream (tables shared, as in
 		// hardware); outcomes are attributed per class.
@@ -62,6 +62,14 @@ func runExtLoads(cfg Config) (*Result, error) {
 			}
 			p.Update(e.PC, e.Value)
 		}
+		cells[i] = cell{loadRes: loadRes, otherRes: otherRes}
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, bench := range cfg.benchmarks() {
+		loadRes, otherRes := cells[i].loadRes, cells[i].otherRes
 		var all core.Result
 		all.Add(loadRes)
 		all.Add(otherRes)

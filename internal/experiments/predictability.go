@@ -22,14 +22,25 @@ func runExtPredictability(cfg Config) (*Result, error) {
 
 	var worstRealized = 1.0
 	var exceeded []string
-	for _, bench := range cfg.benchmarks() {
-		tr, err := traceFor(bench, cfg.budget())
-		if err != nil {
-			return nil, err
+	type cell struct {
+		p         metrics.Predictability
+		fcm, dfcm float64
+	}
+	cells := make([]cell, len(cfg.benchmarks()))
+	s := newSweep(cfg)
+	s.AddScan(func(i int, bench string, tr trace.Trace) error {
+		cells[i] = cell{
+			p:    metrics.MeasurePredictability(trace.NewReader(tr), 3),
+			fcm:  core.Run(core.NewFCM(16, 12), trace.NewReader(tr)).Accuracy(),
+			dfcm: core.Run(core.NewDFCM(16, 12), trace.NewReader(tr)).Accuracy(),
 		}
-		p := metrics.MeasurePredictability(trace.NewReader(tr), 3)
-		fcm := core.Run(core.NewFCM(16, 12), trace.NewReader(tr)).Accuracy()
-		dfcm := core.Run(core.NewDFCM(16, 12), trace.NewReader(tr)).Accuracy()
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, bench := range cfg.benchmarks() {
+		p, fcm, dfcm := cells[i].p, cells[i].fcm, cells[i].dfcm
 		ceiling := p.Ceiling()
 		realized := 0.0
 		if ceiling > 0 {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -34,29 +35,36 @@ func runExtRelatedWork(cfg Config) (*Result, error) {
 	}
 
 	t := &metrics.Table{Headers: []string{"predictor", "size(Kbit)", "accuracy"}}
+	s := newSweep(cfg)
+	jobs := make([]*engine.Job, len(contenders))
+	for i, c := range contenders {
+		jobs[i] = s.Add(c.mk)
+	}
+	// The classification scheme's unpredictable fraction (Rychlik
+	// reports >50%, Lee 24%) needs the predictor's end-of-run state, so
+	// it rides along as a per-benchmark scan of the same trace pass.
+	unFracs := make([]float64, len(cfg.benchmarks()))
+	s.AddScan(func(i int, bench string, tr trace.Trace) error {
+		cl := core.NewClassified(14, 16, 8,
+			core.NewLastValue(12), core.NewStride(12), core.NewFCM(12, 11))
+		core.Run(cl, trace.NewReader(tr))
+		unFracs[i] = cl.Unpredictable()
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
 	accs := map[string]float64{}
-	for _, c := range contenders {
-		acc, err := weighted(cfg, c.mk)
-		if err != nil {
-			return nil, err
-		}
+	for i, c := range contenders {
+		acc := jobs[i].Weighted()
 		accs[c.name] = acc
 		t.AddRow(c.name, metrics.Kbit(c.mk().SizeBits()), metrics.F(acc))
 	}
 	res.Tables = append(res.Tables, t)
 
-	// Report the classification scheme's unpredictable fraction
-	// (Rychlik reports >50%, Lee 24%).
 	var unTotal, unCount float64
-	for _, bench := range cfg.benchmarks() {
-		tr, err := traceFor(bench, cfg.budget())
-		if err != nil {
-			return nil, err
-		}
-		cl := core.NewClassified(14, 16, 8,
-			core.NewLastValue(12), core.NewStride(12), core.NewFCM(12, 11))
-		core.Run(cl, trace.NewReader(tr))
-		unTotal += cl.Unpredictable()
+	for _, f := range unFracs {
+		unTotal += f
 		unCount++
 	}
 	res.addNote("dynamic classification marks %.0f%% of classified instructions unpredictable (Rychlik reports >50%%, Lee 24%%)",

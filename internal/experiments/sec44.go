@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -12,17 +13,23 @@ func runSec44(cfg Config) (*Result, error) {
 	t := &metrics.Table{Headers: []string{
 		"log2(l2 entries)", "w=32", "w=16", "w=8", "drop16", "drop8", "size32(Kbit)", "size8(Kbit)"}}
 	var maxDrop16, maxDrop8 float64
-	for _, l2 := range l2Sweep {
+	widths := []uint{32, 16, 8}
+	s := newSweep(cfg)
+	jobs := make([][3]*engine.Job, len(l2Sweep))
+	for i, l2 := range l2Sweep {
 		l2 := l2
-		var acc [3]float64
-		widths := []uint{32, 16, 8}
-		for i, w := range widths {
+		for j, w := range widths {
 			w := w
-			a, err := weighted(cfg, func() core.Predictor { return core.NewDFCMWidth(16, l2, w) })
-			if err != nil {
-				return nil, err
-			}
-			acc[i] = a
+			jobs[i][j] = s.Add(func() core.Predictor { return core.NewDFCMWidth(16, l2, w) })
+		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	for i, l2 := range l2Sweep {
+		var acc [3]float64
+		for j := range widths {
+			acc[j] = jobs[i][j].Weighted()
 		}
 		d16, d8 := acc[0]-acc[1], acc[0]-acc[2]
 		if d16 > maxDrop16 {

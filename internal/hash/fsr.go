@@ -45,6 +45,20 @@ func (f *FSR) Update(h, value uint64) uint64 {
 	return ((h << f.k) ^ Fold(value, f.n)) & f.mask
 }
 
+// Update32 is Update specialized for 32-bit values on indices of at
+// least 8 bits. With 4n >= 32, the four n-bit chunks cover the whole
+// value (chunks i >= 4 are zero), and masking the XOR of chunks
+// equals XOR-ing masked chunks, so the result is exactly Update's —
+// but the data-dependent Fold loop collapses to a branchless XOR of
+// shifts, and the function stays small enough to inline into the
+// FCM/DFCM per-event updates that call it once per trace event.
+// Callers must ensure IndexBits() >= 8; the core constructors gate
+// their fast path on it.
+func (f *FSR) Update32(h uint64, value uint32) uint64 {
+	v := uint64(value)
+	return ((h << f.k) ^ v ^ v>>f.n ^ v>>(2*f.n) ^ v>>(3*f.n)) & f.mask
+}
+
 // IndexBits returns n.
 func (f *FSR) IndexBits() uint { return f.n }
 

@@ -98,6 +98,22 @@ func TestFSRUpdateRange(t *testing.T) {
 	}
 }
 
+func TestFSRUpdate32MatchesUpdate(t *testing.T) {
+	// Update32 is the branchless specialization for 32-bit values on
+	// n >= 8; it must agree with Update bit for bit on every index
+	// width it is used with.
+	for n := uint(8); n <= 30; n++ {
+		f := NewFSR5(n)
+		prop := func(h uint64, v uint32) bool {
+			h &= Mask(n)
+			return f.Update32(h, v) == f.Update(h, uint64(v))
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
 func TestFSRAgesOutOldValues(t *testing.T) {
 	// After Order() updates, the starting history must not matter.
 	f := NewFSR5(12)

@@ -61,6 +61,129 @@ func (h *StrideHist) Run(p core.Predictor, src trace.Source) Histogram {
 	return h.Histogram()
 }
 
+// StrideHists builds the stride-access histogram of several two-level
+// predictors from a single pass over tr, sharing one stride oracle.
+// It returns exactly what len(ps) separate StrideHist.Run calls over
+// the same trace would: the oracle's hit sequence depends only on the
+// trace, so one oracle serves every predictor, and the per-run
+// discarded Predict call is dropped outright — Predict is side-effect
+// free for the two-level predictors this instrumentation applies to
+// (vplint's predict-purity rule enforces it), so skipping it cannot
+// change any count. Predictors with update-bearing Predict (Delayed)
+// are not valid here; every p must implement core.L2Indexer.
+//
+// Halving the oracle work and the predict work per (trace, predictor
+// pair) is what makes the Figure 6/9 scans — the costliest
+// per-benchmark scans in the suite — go through the trace once
+// instead of once per predictor.
+func StrideHists(oracleBits uint, tr trace.Trace, ps ...core.Predictor) []Histogram {
+	return StrideHistsFromHits(StrideHits(oracleBits, tr), tr, ps...)
+}
+
+// StrideHits replays tr through a fresh 2^oracleBits-entry stride
+// predictor and returns its per-event outcomes: out[i] reports
+// whether the oracle, warmed by events [0,i), predicts event i. The
+// mask is a pure function of (oracleBits, tr), so callers scanning
+// the same trace repeatedly (the Figure 6/9 experiments, across runs)
+// can compute it once and share it (engine.TraceCache.Derived).
+func StrideHits(oracleBits uint, tr trace.Trace) []bool {
+	oracle := core.NewStride(oracleBits)
+	out := make([]bool, len(tr))
+	for i, e := range tr {
+		out[i] = oracle.Predict(e.PC) == e.Value
+		oracle.Update(e.PC, e.Value)
+	}
+	return out
+}
+
+// StrideHistsFromHits is StrideHists with the oracle outcomes
+// precomputed by StrideHits over the same trace. len(hits) must equal
+// len(tr).
+func StrideHistsFromHits(hits []bool, tr trace.Trace, ps ...core.Predictor) []Histogram {
+	if len(hits) != len(tr) {
+		panic("metrics: oracle hit mask does not match trace length")
+	}
+	idxs := make([]core.L2Indexer, len(ps))
+	fused := make([]core.IndexedUpdater, len(ps))
+	counts := make([][]uint64, len(ps))
+	allFused := true
+	for i, p := range ps {
+		idx, ok := p.(core.L2Indexer)
+		if !ok {
+			panic("metrics: predictor does not expose its level-2 index")
+		}
+		idxs[i] = idx
+		counts[i] = make([]uint64, idx.L2Entries())
+		if f, ok := p.(core.IndexedUpdater); ok {
+			fused[i] = f
+		} else {
+			allFused = false
+		}
+	}
+	if allFused {
+		// Fast path: L2IndexAndUpdate touches level-1 once per
+		// (event, predictor) and returns the same index L2Index would
+		// have before the same Update — counting on every event and
+		// discarding on oracle misses is bit-identical to the generic
+		// loop. The Figure 6/9 shapes additionally dispatch on the
+		// concrete predictor types, saving an interface call per
+		// (event, predictor) on the hottest scans in the suite.
+		switch {
+		case len(ps) == 1 && asFCM(ps[0]) != nil:
+			f := asFCM(ps[0])
+			c := counts[0]
+			for ei, e := range tr {
+				idx := f.L2IndexAndUpdate(e.PC, e.Value)
+				if hits[ei] {
+					c[idx]++
+				}
+			}
+		case len(ps) == 2 && asFCM(ps[0]) != nil && asDFCM(ps[1]) != nil:
+			f, d := asFCM(ps[0]), asDFCM(ps[1])
+			cf, cd := counts[0], counts[1]
+			for ei, e := range tr {
+				fi := f.L2IndexAndUpdate(e.PC, e.Value)
+				di := d.L2IndexAndUpdate(e.PC, e.Value)
+				if hits[ei] {
+					cf[fi]++
+					cd[di]++
+				}
+			}
+		default:
+			for ei, e := range tr {
+				hit := hits[ei]
+				for i, f := range fused {
+					idx := f.L2IndexAndUpdate(e.PC, e.Value)
+					if hit {
+						counts[i][idx]++
+					}
+				}
+			}
+		}
+	} else {
+		for ei, e := range tr {
+			hit := hits[ei]
+			for i, p := range ps {
+				if hit {
+					counts[i][idxs[i].L2Index(e.PC)]++
+				}
+				p.Update(e.PC, e.Value)
+			}
+		}
+	}
+	out := make([]Histogram, len(ps))
+	for i, c := range counts {
+		sort.Slice(c, func(a, b int) bool { return c[a] > c[b] })
+		out[i] = c
+	}
+	return out
+}
+
+// asFCM and asDFCM recover the concrete predictor types for the
+// specialized scan loops; they return nil for anything else.
+func asFCM(p core.Predictor) *core.FCM   { f, _ := p.(*core.FCM); return f }
+func asDFCM(p core.Predictor) *core.DFCM { d, _ := p.(*core.DFCM); return d }
+
 // Histogram returns the per-entry stride-access counts sorted in
 // descending order (the paper's x axis: "l2-entry (sorted)").
 func (h *StrideHist) Histogram() Histogram {
