@@ -7,11 +7,13 @@ package repro
 // CLI (cmd/dfcmsim) runs the same experiments at full budgets.
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/progs"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -116,6 +118,76 @@ func BenchmarkPredictPerfectHybrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := events[i%len(events)]
 		p.Score(e.PC, e.Value)
+	}
+}
+
+// --- microbenchmarks: snapshot encode/decode ---
+//
+// The checkpoint cost model for internal/serve: Encode is what a
+// shard pays per session per checkpoint sweep (capture + container
+// encoding into a reused buffer), Decode is the warm-start cost per
+// session file. Both run against a warmed serving-sized DFCM so the
+// numbers reflect real table occupancy, and report allocs/op — the
+// encode path should stay at a handful of allocations regardless of
+// table size.
+
+// warmedDFCMSnapshot trains a serving-sized DFCM and returns its spec,
+// the predictor, and its encoded snapshot bytes.
+func warmedDFCMSnapshot(b *testing.B) (core.Spec, core.Predictor, []byte) {
+	b.Helper()
+	spec := core.Spec{Kind: "dfcm", L1: 14, L2: 12}
+	p, err := spec.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := workload.LoopBody(0x1000, 2, 6, 4, 2)
+	core.Run(p, trace.NewReader(trace.Collect(workload.Interleave(body, 4096), 0)))
+	snap, err := snapshot.Capture(spec, p, snapshot.Meta{Session: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return spec, p, buf.Bytes()
+}
+
+func BenchmarkSnapshotEncodeDFCM(b *testing.B) {
+	spec, p, encoded := warmedDFCMSnapshot(b)
+	var buf bytes.Buffer
+	buf.Grow(len(encoded))
+	b.SetBytes(int64(len(encoded)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		snap, err := snapshot.Capture(spec, p, snapshot.Meta{Session: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := snap.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		benchSink += uint64(buf.Len())
+	}
+}
+
+func BenchmarkSnapshotDecodeDFCM(b *testing.B) {
+	_, _, encoded := warmedDFCMSnapshot(b)
+	b.SetBytes(int64(len(encoded)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := snapshot.Decode(bytes.NewReader(encoded))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := snap.Restore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += uint64(p.SizeBits())
 	}
 }
 

@@ -8,10 +8,20 @@
 //
 //	vpserve -addr :9177 -predictor dfcm -l1 16 -l2 12
 //	vpserve -addr :9177 -http :9178 -shards 8 -predictor hybrid -l1 14 -l2 12
+//	vpserve -addr :9177 -predictor dfcm -checkpoint-dir /var/lib/vpserve -checkpoint-interval 30s
 //
 // SIGINT/SIGTERM drain the server gracefully: the listener closes
 // immediately, connected clients are served until they disconnect or
 // the drain timeout expires.
+//
+// With -checkpoint-dir, every session's predictor state is snapshot to
+// one file in the directory (internal/snapshot format, inspectable
+// with cmd/vpstate) on the background -checkpoint-interval and again
+// on graceful drain; the next boot with the same flags warm-starts
+// those sessions — tables, confidence counters and lifetime stats —
+// so a restart costs no cold-start accuracy. Snapshots whose
+// predictor spec does not match the current flags are skipped, not
+// loaded wrong.
 package main
 
 import (
@@ -53,6 +63,8 @@ func parseFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.engine.Shards, "shards", 0, "shard goroutines (0 = GOMAXPROCS)")
 	fs.IntVar(&o.engine.MailboxDepth, "mailbox", 128, "bounded queue depth per shard")
 	fs.IntVar(&o.engine.MaxSessions, "max-sessions", 4096, "live session cap across shards")
+	fs.StringVar(&o.engine.CheckpointDir, "checkpoint-dir", "", "directory for per-session predictor snapshots; enables warm start (empty disables)")
+	fs.DurationVar(&o.engine.CheckpointInterval, "checkpoint-interval", 30*time.Second, "background checkpoint period (0 = checkpoint on drain only)")
 	fs.DurationVar(&o.server.ReadTimeout, "read-timeout", 60*time.Second, "per-connection idle read deadline")
 	fs.DurationVar(&o.server.WriteTimeout, "write-timeout", 10*time.Second, "per-response write deadline")
 	fs.IntVar(&o.server.MaxFrame, "max-frame", serve.DefaultMaxFrame, "maximum request frame payload in bytes")
@@ -60,7 +72,8 @@ func parseFlags(fs *flag.FlagSet) *options {
 	return o
 }
 
-// newServer validates the options and builds the engine and server.
+// newServer validates the options and builds the engine and server,
+// warm-starting from the checkpoint directory when one is configured.
 func newServer(o *options) (*serve.Server, error) {
 	// Probe the spec once so a bad flag combination fails at startup,
 	// not on the first session.
@@ -68,16 +81,20 @@ func newServer(o *options) (*serve.Server, error) {
 		return nil, fmt.Errorf("predictor spec: %w", err)
 	}
 	cfg := o.engine
-	cfg.NewPredictor = func() core.Predictor {
-		p, err := o.spec.New()
-		if err != nil {
-			panic("vpserve: spec validated at startup cannot fail: " + err.Error())
-		}
-		return p
-	}
+	cfg.Spec = o.spec // the engine derives NewPredictor from it
 	engine, err := serve.NewEngine(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.CheckpointDir != "" {
+		restored, skipped, err := engine.LoadCheckpoints()
+		if err != nil {
+			engine.Close()
+			return nil, fmt.Errorf("warm start from %s: %w", cfg.CheckpointDir, err)
+		}
+		if restored+skipped > 0 {
+			log.Printf("vpserve: warm start: %d sessions restored, %d files skipped", restored, skipped)
+		}
 	}
 	return serve.NewServer(engine, o.server), nil
 }

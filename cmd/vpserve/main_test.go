@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -71,5 +72,132 @@ func TestServerBootAndServe(t *testing.T) {
 	c.Close()
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// bootServer builds a server from flags and serves it on a loopback
+// listener; the returned shutdown func drains it gracefully (taking
+// the drain checkpoint when one is configured).
+func bootServer(t *testing.T, args ...string) (addr string, shutdown func()) {
+	t.Helper()
+	srv, err := newServer(optionsFromArgs(t, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = srv.Serve(ln)
+		close(done)
+	}()
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		<-done
+	}
+}
+
+// restartEvents is a deterministic mixed trace: constant, stride and a
+// pseudo-random low-entropy stream.
+func restartEvents(n int) trace.Trace {
+	tr := make(trace.Trace, 0, n)
+	rnd := uint32(88172645)
+	for i := 0; len(tr) < n; i++ {
+		tr = append(tr,
+			trace.Event{PC: 0x400, Value: 3},
+			trace.Event{PC: 0x404, Value: uint32(i) * 24},
+		)
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 17
+		rnd ^= rnd << 5
+		tr = append(tr, trace.Event{PC: 0x408, Value: rnd & 0x3f})
+	}
+	return tr[:n]
+}
+
+// TestCheckpointRestart is the end-to-end durability smoke: boot with
+// -checkpoint-dir, warm a session over the wire, drain (which
+// checkpoints), boot a second server over the same directory, and the
+// warm-started session must carry its stats forward and score the rest
+// of the trace exactly like an uninterrupted offline run — no
+// cold-start accuracy loss across the restart.
+func TestCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-predictor", "dfcm", "-l1", "8", "-l2", "10", "-shards", "2",
+		"-checkpoint-dir", dir, "-checkpoint-interval", "0"}
+	events := restartEvents(4000)
+	const cut = 2600
+	const sessionID = 42
+
+	addr, shutdown := bootServer(t, args...)
+	c, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmHits, st, err := c.RunBatch(sessionID, events[:cut])
+	if err != nil || st != serve.StatusOK {
+		t.Fatalf("warm RunBatch: %v %v", st, err)
+	}
+	c.Close()
+	shutdown() // drain checkpoint
+
+	addr, shutdown = bootServer(t, args...)
+	defer shutdown()
+	c, err = serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Stats continuity: the rebooted server already reports the
+	// pre-restart session and its lifetime counters.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions != 1 || stats.Restored != 1 {
+		t.Fatalf("rebooted server reports %d sessions (%d restored)", stats.Sessions, stats.Restored)
+	}
+	if stats.Predictions != cut || stats.Hits != uint64(warmHits) {
+		t.Fatalf("stats discontinuity: %d predictions / %d hits, drained with %d / %d",
+			stats.Predictions, stats.Hits, cut, warmHits)
+	}
+
+	// Accuracy equivalence: replay the tail and compare against one
+	// uninterrupted offline run of the same spec.
+	gotHits, st, err := c.RunBatch(sessionID, events[cut:])
+	if err != nil || st != serve.StatusOK {
+		t.Fatalf("post-restart RunBatch: %v %v", st, err)
+	}
+	spec := core.Spec{Kind: "dfcm", L1: 8, L2: 10}
+	p, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWarm := uint32(0)
+	for _, ev := range events[:cut] {
+		if p.Predict(ev.PC) == ev.Value {
+			wantWarm++
+		}
+		p.Update(ev.PC, ev.Value)
+	}
+	wantTail := uint32(0)
+	for _, ev := range events[cut:] {
+		if p.Predict(ev.PC) == ev.Value {
+			wantTail++
+		}
+		p.Update(ev.PC, ev.Value)
+	}
+	if warmHits != wantWarm {
+		t.Errorf("warm phase: served %d hits, offline %d", warmHits, wantWarm)
+	}
+	if gotHits != wantTail {
+		t.Errorf("post-restart tail: served %d hits, offline run scores %d — restart lost accuracy", gotHits, wantTail)
 	}
 }

@@ -84,6 +84,10 @@ func TestProtoBoundsFixture(t *testing.T) {
 	runFixture(t, "protobounds.go", "repro/internal/serve", ProtoBounds)
 }
 
+func TestProtoBoundsSnapshotFixture(t *testing.T) {
+	runFixture(t, "protobounds_snapshot.go", "repro/internal/snapshot", ProtoBounds)
+}
+
 func TestErrorDisciplineFixture(t *testing.T) {
 	runFixture(t, "errcheck.go", "repro/cmd/fixture", ErrorDiscipline)
 }
@@ -101,6 +105,7 @@ func TestAnalyzersScopeToTheirPackages(t *testing.T) {
 		{"hotpath.go", HotPathAlloc},
 		{"hotpath_engine.go", HotPathAlloc},
 		{"protobounds.go", ProtoBounds},
+		{"protobounds_snapshot.go", ProtoBounds},
 		{"errcheck.go", ErrorDiscipline},
 	}
 	for _, c := range cases {

@@ -7,27 +7,36 @@ import (
 	"strings"
 )
 
-// ProtoBounds guards the VP1 decode paths against attacker-controlled
-// allocation: a frame or payload carries a length field, and the
-// decoder must validate that length against what actually arrived (or
-// against the max-frame bound) before allocating storage sized by it.
-// Otherwise a 12-byte request claiming 2^32 events allocates
-// gigabytes before the truncation is noticed.
+// ProtoBounds guards the untrusted-bytes decode paths against
+// attacker-controlled allocation: a frame, payload or snapshot section
+// carries a length field, and the decoder must validate that length
+// against what actually arrived (or against a maximum-size bound)
+// before allocating storage sized by it. Otherwise a 12-byte request
+// claiming 2^32 events allocates gigabytes before the truncation is
+// noticed.
 //
-// In internal/serve the rule inspects every function named readFrame
-// or decode*: each make() whose size is not a compile-time constant
-// must be preceded, in the same function, by an if-statement that
-// compares the size variable (directly or inside a larger
-// expression) against something — the length-vs-payload or
-// length-vs-maxFrame guard.
+// The rule covers the two packages that parse bytes from outside the
+// process: internal/serve (the VP1 wire protocol) and
+// internal/snapshot (checkpoint files, which may arrive from an
+// untrusted disk or a SnapshotSession peer). It inspects every
+// function named readFrame or decode*/Decode*: each make() whose size
+// is not a compile-time constant must be preceded, in the same
+// function, by an if-statement that compares the size variable
+// (directly or inside a larger expression) against something — the
+// length-vs-payload or length-vs-bound guard.
 var ProtoBounds = &Analyzer{
 	ID:  "proto-bounds",
-	Doc: "VP1 decode paths must length-check before allocating attacker-sized buffers",
+	Doc: "decode paths must length-check before allocating attacker-sized buffers",
 	Run: runProtoBounds,
 }
 
+func protoBoundsScope(path string) bool {
+	return strings.HasSuffix(path, "/internal/serve") ||
+		strings.HasSuffix(path, "/internal/snapshot")
+}
+
 func runProtoBounds(pass *Pass) {
-	if !strings.HasSuffix(pass.Pkg.Path, "/internal/serve") {
+	if !protoBoundsScope(pass.Pkg.Path) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
@@ -37,7 +46,7 @@ func runProtoBounds(pass *Pass) {
 				continue
 			}
 			name := decl.Name.Name
-			if name == "readFrame" || strings.HasPrefix(name, "decode") {
+			if name == "readFrame" || strings.HasPrefix(name, "decode") || strings.HasPrefix(name, "Decode") {
 				checkDecodeFunc(pass, decl)
 			}
 		}

@@ -1,0 +1,54 @@
+// Seeded-violation fixture for the proto-bounds analyzer in its
+// second scope: the snapshot decoders. Loaded with import path
+// "repro/internal/snapshot".
+package snapshot
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// DecodeBad trusts a section header straight off the disk — the
+// hostile-checkpoint bug the rule exists for.
+func DecodeBad(r io.Reader) ([]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[1:])
+	payload := make([]byte, length) // want proto-bounds
+	_, err := io.ReadFull(r, payload)
+	return payload, err
+}
+
+// DecodeGood bounds the claimed section length before allocating.
+func DecodeGood(r io.Reader, maxSection int) ([]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[1:])
+	if uint64(length) > uint64(maxSection) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	payload := make([]byte, length)
+	_, err := io.ReadFull(r, payload)
+	return payload, err
+}
+
+// decodeSection is the unexported spelling — same obligation.
+func decodeSection(p []byte) []uint64 {
+	n := binary.BigEndian.Uint32(p)
+	return make([]uint64, n) // want proto-bounds
+}
+
+// decodeHeader allocates a fixed-size header — out of scope.
+func decodeHeader() []byte {
+	return make([]byte, 8)
+}
+
+// EncodeSection is not a decode path; sizes derived from in-memory
+// state are fine.
+func EncodeSection(state []byte) []byte {
+	return make([]byte, 5+len(state))
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Delayed wraps a predictor so that table updates take effect only
 // after a further delay predictions have been made, modeling the
@@ -80,6 +83,59 @@ func (d *Delayed) Reset() {
 	d.pending = d.pending[:0]
 	d.head = 0
 	mustReset(d.p)
+}
+
+// AppendState implements Snapshotter: the not-yet-applied update queue
+// (active entries only — the consumed prefix is an allocation detail)
+// followed by the wrapped predictor's nested state.
+func (d *Delayed) AppendState(b []byte) []byte {
+	active := d.pending[d.head:]
+	b = binary.BigEndian.AppendUint32(b, uint32(len(active)))
+	for _, u := range active {
+		b = binary.BigEndian.AppendUint32(b, u.pc)
+		b = binary.BigEndian.AppendUint32(b, u.value)
+	}
+	return appendNested(b, d.p)
+}
+
+// RestoreState implements Snapshotter. The claimed queue length is
+// checked against the bytes that actually arrived before the queue is
+// allocated.
+func (d *Delayed) RestoreState(data []byte) error {
+	if len(data) < 4 {
+		return stateSizeErr("delayed", 4, len(data))
+	}
+	n := binary.BigEndian.Uint32(data)
+	if uint64(len(data)-4) < 8*uint64(n) {
+		return fmt.Errorf("%w: delayed queue claims %d updates, %d bytes remain", ErrState, n, len(data)-4)
+	}
+	rows := data[4:]
+	pending := make([]pendingUpdate, n)
+	for i := range pending {
+		pending[i] = pendingUpdate{
+			pc:    binary.BigEndian.Uint32(rows[8*i:]),
+			value: binary.BigEndian.Uint32(rows[8*i+4:]),
+		}
+	}
+	rest, err := restoreNested(rows[8*n:], d.p)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after delayed state", ErrState, len(rest))
+	}
+	d.pending = pending
+	d.head = 0
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (d *Delayed) StateTables() []TableInfo {
+	active := len(d.pending) - d.head
+	return append(
+		[]TableInfo{{Name: "pending", Entries: active, Live: active}},
+		prefixTables(d.p.Name(), d.p)...,
+	)
 }
 
 // Name implements Predictor.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/hash"
@@ -175,6 +176,66 @@ func (p *DFCM) StrideBits() uint { return p.strideBits }
 func (p *DFCM) Reset() {
 	clear(p.l1)
 	clear(p.l2)
+}
+
+// AppendState implements Snapshotter: level-1 rows (last value + 8-byte
+// stride history) followed by the level-2 strides.
+func (p *DFCM) AppendState(b []byte) []byte {
+	for i := range p.l1 {
+		e := &p.l1[i]
+		b = binary.BigEndian.AppendUint32(b, e.last)
+		b = binary.BigEndian.AppendUint64(b, e.hist)
+	}
+	for _, v := range p.l2 {
+		b = binary.BigEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+// RestoreState implements Snapshotter. Histories index the level-2
+// table, so each must be below its entry count; stored strides must
+// fit the configured stride width.
+func (p *DFCM) RestoreState(data []byte) error {
+	want := 12*len(p.l1) + 4*len(p.l2)
+	if len(data) != want {
+		return stateSizeErr("dfcm", want, len(data))
+	}
+	for i := range p.l1 {
+		row := data[12*i:]
+		hist := binary.BigEndian.Uint64(row[4:])
+		if hist >= uint64(len(p.l2)) {
+			return fmt.Errorf("%w: dfcm history %#x exceeds level-2 size %d", ErrState, hist, len(p.l2))
+		}
+		p.l1[i] = dfcmEntry{last: binary.BigEndian.Uint32(row), hist: hist}
+	}
+	l2 := data[12*len(p.l1):]
+	for i := range p.l2 {
+		v := binary.BigEndian.Uint32(l2[4*i:])
+		if p.truncate(v) != v {
+			return fmt.Errorf("%w: dfcm stride %#x wider than %d bits", ErrState, v, p.strideBits)
+		}
+		p.l2[i] = v
+	}
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *DFCM) StateTables() []TableInfo {
+	l1Live, l2Live := 0, 0
+	for i := range p.l1 {
+		if p.l1[i] != (dfcmEntry{}) {
+			l1Live++
+		}
+	}
+	for _, v := range p.l2 {
+		if v != 0 {
+			l2Live++
+		}
+	}
+	return []TableInfo{
+		{Name: "l1", Entries: len(p.l1), Live: l1Live},
+		{Name: "l2", Entries: len(p.l2), Live: l2Live},
+	}
 }
 
 // Name implements Predictor.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/hash"
@@ -117,6 +118,60 @@ func (p *FCM) Order() int { return p.h.Order() }
 func (p *FCM) Reset() {
 	clear(p.l1)
 	clear(p.l2)
+}
+
+// AppendState implements Snapshotter: the level-1 histories (8 bytes
+// each) followed by the level-2 values (4 bytes each).
+func (p *FCM) AppendState(b []byte) []byte {
+	for _, h := range p.l1 {
+		b = binary.BigEndian.AppendUint64(b, h)
+	}
+	for _, v := range p.l2 {
+		b = binary.BigEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+// RestoreState implements Snapshotter. Restored histories are level-2
+// indices, so each must be below the level-2 entry count — hostile
+// state must not plant an out-of-bounds index that Predict would
+// dereference later.
+func (p *FCM) RestoreState(data []byte) error {
+	want := 8*len(p.l1) + 4*len(p.l2)
+	if len(data) != want {
+		return stateSizeErr("fcm", want, len(data))
+	}
+	for i := range p.l1 {
+		h := binary.BigEndian.Uint64(data[8*i:])
+		if h >= uint64(len(p.l2)) {
+			return fmt.Errorf("%w: fcm history %#x exceeds level-2 size %d", ErrState, h, len(p.l2))
+		}
+		p.l1[i] = h
+	}
+	l2 := data[8*len(p.l1):]
+	for i := range p.l2 {
+		p.l2[i] = binary.BigEndian.Uint32(l2[4*i:])
+	}
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *FCM) StateTables() []TableInfo {
+	l1Live, l2Live := 0, 0
+	for _, h := range p.l1 {
+		if h != 0 {
+			l1Live++
+		}
+	}
+	for _, v := range p.l2 {
+		if v != 0 {
+			l2Live++
+		}
+	}
+	return []TableInfo{
+		{Name: "l1", Entries: len(p.l1), Live: l1Live},
+		{Name: "l2", Entries: len(p.l2), Live: l2Live},
+	}
 }
 
 // Name implements Predictor.

@@ -63,6 +63,38 @@ func (p *PerfectHybrid) Reset() {
 	}
 }
 
+// AppendState implements Snapshotter: one nested block per component,
+// in construction order.
+func (p *PerfectHybrid) AppendState(b []byte) []byte {
+	for _, c := range p.comps {
+		b = appendNested(b, c)
+	}
+	return b
+}
+
+// RestoreState implements Snapshotter.
+func (p *PerfectHybrid) RestoreState(data []byte) error {
+	var err error
+	for _, c := range p.comps {
+		if data, err = restoreNested(data, c); err != nil {
+			return err
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after hybrid state", ErrState, len(data))
+	}
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *PerfectHybrid) StateTables() []TableInfo {
+	var ts []TableInfo
+	for _, c := range p.comps {
+		ts = append(ts, prefixTables(c.Name(), c)...)
+	}
+	return ts
+}
+
 // Name implements Predictor, e.g. "perfect(stride-2^16+fcm-2^16/2^12)".
 func (p *PerfectHybrid) Name() string {
 	names := make([]string, len(p.comps))
@@ -138,6 +170,51 @@ func (p *MetaHybrid) Reset() {
 	clear(p.counters)
 	mustReset(p.a)
 	mustReset(p.b)
+}
+
+// AppendState implements Snapshotter: the selection counters followed
+// by both components' nested state.
+func (p *MetaHybrid) AppendState(b []byte) []byte {
+	b = append(b, p.counters...)
+	b = appendNested(b, p.a)
+	return appendNested(b, p.b)
+}
+
+// RestoreState implements Snapshotter.
+func (p *MetaHybrid) RestoreState(data []byte) error {
+	if len(data) < len(p.counters) {
+		return stateSizeErr("meta-hybrid counters", len(p.counters), len(data))
+	}
+	for _, c := range data[:len(p.counters)] {
+		if c > p.max {
+			return fmt.Errorf("%w: meta counter %d exceeds %d", ErrState, c, p.max)
+		}
+	}
+	rest, err := restoreNested(data[len(p.counters):], p.a)
+	if err != nil {
+		return err
+	}
+	if rest, err = restoreNested(rest, p.b); err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after meta-hybrid state", ErrState, len(rest))
+	}
+	copy(p.counters, data)
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *MetaHybrid) StateTables() []TableInfo {
+	live := 0
+	for _, c := range p.counters {
+		if c != 0 {
+			live++
+		}
+	}
+	ts := []TableInfo{{Name: "meta", Entries: len(p.counters), Live: live}}
+	ts = append(ts, prefixTables(p.a.Name(), p.a)...)
+	return append(ts, prefixTables(p.b.Name(), p.b)...)
 }
 
 // Name implements Predictor.

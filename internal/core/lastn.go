@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // lastNSlot is one stored candidate value with its selection counter.
 type lastNSlot struct {
@@ -96,6 +99,63 @@ func (p *LastN) Reset() {
 		clear(slots)
 	}
 	p.clock = 0
+}
+
+// lastNSlotBytes is one serialized lastNSlot: value, conf, age.
+const lastNSlotBytes = 4 + 1 + 1
+
+// AppendState implements Snapshotter: the insertion clock followed by
+// every slot of every entry.
+func (p *LastN) AppendState(b []byte) []byte {
+	b = append(b, p.clock)
+	for _, slots := range p.table {
+		for i := range slots {
+			s := &slots[i]
+			b = binary.BigEndian.AppendUint32(b, s.value)
+			b = append(b, s.conf, s.age)
+		}
+	}
+	return b
+}
+
+// RestoreState implements Snapshotter.
+func (p *LastN) RestoreState(data []byte) error {
+	want := 1 + lastNSlotBytes*p.n*len(p.table)
+	if len(data) != want {
+		return stateSizeErr("last-n", want, len(data))
+	}
+	clock, rows := data[0], data[1:]
+	off := 0
+	for _, slots := range p.table {
+		for i := range slots {
+			row := rows[off:]
+			conf := row[4]
+			if conf > lastNConfMax {
+				return fmt.Errorf("%w: last-n confidence %d exceeds %d", ErrState, conf, lastNConfMax)
+			}
+			slots[i] = lastNSlot{
+				value: binary.BigEndian.Uint32(row),
+				conf:  conf,
+				age:   row[5],
+			}
+			off += lastNSlotBytes
+		}
+	}
+	p.clock = clock
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *LastN) StateTables() []TableInfo {
+	live := 0
+	for _, slots := range p.table {
+		for i := range slots {
+			if slots[i] != (lastNSlot{}) {
+				live++
+			}
+		}
+	}
+	return []TableInfo{{Name: "slots", Entries: p.n * len(p.table), Live: live}}
 }
 
 // Name implements Predictor.

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // LastValue is the last value predictor (Lipasti): the next value
 // produced by an instruction is predicted to equal the previous one.
@@ -32,6 +35,37 @@ func (p *LastValue) Update(pc, value uint32) {
 
 // Reset implements Resetter.
 func (p *LastValue) Reset() { clear(p.table) }
+
+// AppendState implements Snapshotter: the value table, 4 bytes per
+// entry.
+func (p *LastValue) AppendState(b []byte) []byte {
+	for _, v := range p.table {
+		b = binary.BigEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+// RestoreState implements Snapshotter.
+func (p *LastValue) RestoreState(data []byte) error {
+	if len(data) != 4*len(p.table) {
+		return stateSizeErr("last-value", 4*len(p.table), len(data))
+	}
+	for i := range p.table {
+		p.table[i] = binary.BigEndian.Uint32(data[4*i:])
+	}
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *LastValue) StateTables() []TableInfo {
+	live := 0
+	for _, v := range p.table {
+		if v != 0 {
+			live++
+		}
+	}
+	return []TableInfo{{Name: "values", Entries: len(p.table), Live: live}}
+}
 
 // Name implements Predictor.
 func (p *LastValue) Name() string { return fmt.Sprintf("lvp-2^%d", p.bits) }

@@ -16,6 +16,24 @@ type Spec struct {
 	Delay int    // update delay in predictions; 0 disables
 }
 
+// Canonical returns the spec with fields the kind ignores zeroed and
+// defaults made explicit, so two specs compare equal exactly when New
+// builds behaviourally identical predictors. Checkpoint warm-start
+// (internal/serve) and cmd/vpstate diff compare canonical specs.
+func (s Spec) Canonical() Spec {
+	switch s.Kind {
+	case "lvp", "stride", "2delta":
+		s.L2, s.Width = 0, 0
+	case "fcm", "hybrid":
+		s.Width = 0
+	case "dfcm":
+		if s.Width == 0 {
+			s.Width = 32
+		}
+	}
+	return s
+}
+
 // New builds a fresh predictor from the spec. Unlike the constructors,
 // which panic on out-of-range parameters (programming errors), New
 // validates and returns an error, since specs typically arrive from

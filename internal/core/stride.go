@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // strideEntry is one row of the stride predictor table.
 type strideEntry struct {
@@ -75,6 +78,51 @@ func (p *Stride) Update(pc, value uint32) {
 // Reset implements Resetter.
 func (p *Stride) Reset() { clear(p.table) }
 
+// strideEntryBytes is one serialized strideEntry: last, stride, conf.
+const strideEntryBytes = 4 + 4 + 1
+
+// AppendState implements Snapshotter.
+func (p *Stride) AppendState(b []byte) []byte {
+	for i := range p.table {
+		e := &p.table[i]
+		b = binary.BigEndian.AppendUint32(b, e.last)
+		b = binary.BigEndian.AppendUint32(b, e.stride)
+		b = append(b, e.conf)
+	}
+	return b
+}
+
+// RestoreState implements Snapshotter.
+func (p *Stride) RestoreState(data []byte) error {
+	if len(data) != strideEntryBytes*len(p.table) {
+		return stateSizeErr("stride", strideEntryBytes*len(p.table), len(data))
+	}
+	for i := range p.table {
+		row := data[strideEntryBytes*i:]
+		conf := row[8]
+		if conf > strideConfMax {
+			return fmt.Errorf("%w: stride confidence %d exceeds %d", ErrState, conf, strideConfMax)
+		}
+		p.table[i] = strideEntry{
+			last:   binary.BigEndian.Uint32(row),
+			stride: binary.BigEndian.Uint32(row[4:]),
+			conf:   conf,
+		}
+	}
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *Stride) StateTables() []TableInfo {
+	live := 0
+	for i := range p.table {
+		if p.table[i] != (strideEntry{}) {
+			live++
+		}
+	}
+	return []TableInfo{{Name: "entries", Entries: len(p.table), Live: live}}
+}
+
 // Name implements Predictor.
 func (p *Stride) Name() string { return fmt.Sprintf("stride-2^%d", p.bits) }
 
@@ -127,6 +175,44 @@ func (p *TwoDelta) Update(pc, value uint32) {
 
 // Reset implements Resetter.
 func (p *TwoDelta) Reset() { clear(p.table) }
+
+// AppendState implements Snapshotter: last, s1, s2 per entry.
+func (p *TwoDelta) AppendState(b []byte) []byte {
+	for i := range p.table {
+		e := &p.table[i]
+		b = binary.BigEndian.AppendUint32(b, e.last)
+		b = binary.BigEndian.AppendUint32(b, e.s1)
+		b = binary.BigEndian.AppendUint32(b, e.s2)
+	}
+	return b
+}
+
+// RestoreState implements Snapshotter.
+func (p *TwoDelta) RestoreState(data []byte) error {
+	if len(data) != 12*len(p.table) {
+		return stateSizeErr("two-delta", 12*len(p.table), len(data))
+	}
+	for i := range p.table {
+		row := data[12*i:]
+		p.table[i] = twoDeltaEntry{
+			last: binary.BigEndian.Uint32(row),
+			s1:   binary.BigEndian.Uint32(row[4:]),
+			s2:   binary.BigEndian.Uint32(row[8:]),
+		}
+	}
+	return nil
+}
+
+// StateTables implements StateTabler.
+func (p *TwoDelta) StateTables() []TableInfo {
+	live := 0
+	for i := range p.table {
+		if p.table[i] != (twoDeltaEntry{}) {
+			live++
+		}
+	}
+	return []TableInfo{{Name: "entries", Entries: len(p.table), Live: live}}
+}
 
 // Name implements Predictor.
 func (p *TwoDelta) Name() string { return fmt.Sprintf("2delta-2^%d", p.bits) }

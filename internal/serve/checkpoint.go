@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// Internal shard ops. These never appear on the wire (the server
+// dispatch rejects them) and bypass the closed gate: the drain
+// checkpoint runs after the engine stops accepting external traffic.
+const (
+	opCaptureShard   = 0xF1
+	opRestoreSession = 0xF2
+)
+
+// sessionCapture pairs a session ID with its frozen snapshot, handed
+// from the shard goroutine to the writer.
+type sessionCapture struct {
+	id   uint64
+	snap *snapshot.Snapshot
+}
+
+// checkpointName is the per-session file name. The fixed-width hex ID
+// keeps directory listings sorted by session.
+func checkpointName(id uint64) string {
+	return fmt.Sprintf("session-%016x.vps", id)
+}
+
+// parseCheckpointName inverts checkpointName.
+func parseCheckpointName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "session-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".vps")
+	if !ok || len(rest) != 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// captureSession freezes one live session. Runs on the shard
+// goroutine, so the predictor state and counters are a consistent
+// point-in-time view with no request in flight.
+func (e *Engine) captureSession(id uint64, sess *session) (*snapshot.Snapshot, error) {
+	return snapshot.Capture(e.cfg.Spec, sess.p, snapshot.Meta{
+		Session:     id,
+		Predictions: sess.predictions,
+		Hits:        sess.hits,
+		Updates:     sess.updates,
+	})
+}
+
+// handleCaptureShard snapshots every session on the shard. Runs on the
+// shard goroutine; file I/O happens on the caller's side so the shard
+// returns to serving as soon as the in-memory copies exist.
+func (e *Engine) handleCaptureShard(s *shard, req request) {
+	snaps := make([]sessionCapture, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		snap, err := e.captureSession(id, sess)
+		if err != nil {
+			e.checkpointErrors.Add(1)
+			continue
+		}
+		snaps = append(snaps, sessionCapture{id: id, snap: snap})
+	}
+	req.reply <- response{status: StatusOK, snaps: snaps}
+}
+
+// handleRestoreSession installs a warm-started session on its shard.
+// A session that is already live wins over the disk copy (it is newer
+// by construction), and the cap still applies.
+func (e *Engine) handleRestoreSession(s *shard, req request) {
+	if _, ok := s.sessions[req.session]; ok {
+		req.reply <- response{status: StatusBadRequest}
+		return
+	}
+	if int(e.sessions.Load()) >= e.cfg.MaxSessions {
+		req.reply <- response{status: StatusBusy}
+		return
+	}
+	s.sessions[req.session] = req.sess
+	e.sessions.Add(1)
+	s.occupancy.Add(1)
+	// Credit the shard counters with the restored lifetime totals so
+	// engine Stats continue from where the checkpoint left off.
+	s.predictions.Add(req.sess.predictions)
+	s.hits.Add(req.sess.hits)
+	s.updates.Add(req.sess.updates)
+	e.restored.Add(1)
+	req.reply <- response{status: StatusOK}
+}
+
+// submitInternal sends a checkpoint op straight to a shard, bypassing
+// the closed gate and the backpressure shed: internal requests are
+// rare, must not be dropped, and the drain checkpoint runs after the
+// engine closes to external traffic. The send may block on a busy
+// mailbox; the shard goroutine is alive until quit closes, which Close
+// orders strictly after the last internal send.
+func (e *Engine) submitInternal(s *shard, req request) response {
+	req.reply = make(chan response, 1)
+	s.mail <- req
+	return <-req.reply
+}
+
+// CheckpointAll captures every live session and writes one snapshot
+// file per session into CheckpointDir (atomically, via temp file and
+// rename). It returns the number of files written and the first write
+// error; failed sessions are counted in Stats.CheckpointErrors and do
+// not block the rest of the sweep. Safe to call concurrently with
+// traffic — each shard pauses only for its in-memory capture.
+func (e *Engine) CheckpointAll() (written int, err error) {
+	if e.cfg.CheckpointDir == "" {
+		return 0, fmt.Errorf("serve: checkpointing disabled (no CheckpointDir)")
+	}
+	for _, s := range e.shards {
+		resp := e.submitInternal(s, request{op: opCaptureShard})
+		for _, c := range resp.snaps {
+			path := filepath.Join(e.cfg.CheckpointDir, checkpointName(c.id))
+			if werr := snapshot.WriteFile(path, c.snap); werr != nil {
+				e.checkpointErrors.Add(1)
+				if err == nil {
+					err = werr
+				}
+				continue
+			}
+			written++
+		}
+	}
+	e.checkpoints.Add(1)
+	return written, err
+}
+
+// checkpointLoop runs the periodic background checkpoints until Close
+// stops it.
+func (e *Engine) checkpointLoop(interval time.Duration) {
+	defer e.ckptWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Errors are counted in CheckpointErrors and surface in
+			// Stats; the loop keeps trying on the next tick.
+			_, _ = e.CheckpointAll()
+		case <-e.ckptQuit:
+			return
+		}
+	}
+}
+
+// LoadCheckpoints warm-starts the engine from CheckpointDir: every
+// readable session-<id>.vps file whose spec matches the engine's
+// (canonically — ignored fields don't block a restore) becomes a live
+// session with its predictor state and lifetime counters intact.
+// Unreadable, mismatched or unrestorable files are skipped, not fatal:
+// a warm start must never be worse than a cold one. Call before
+// serving traffic; restored sessions count in Stats.Restored.
+func (e *Engine) LoadCheckpoints() (restored, skipped int, err error) {
+	dir := e.cfg.CheckpointDir
+	if dir == "" {
+		return 0, 0, fmt.Errorf("serve: checkpointing disabled (no CheckpointDir)")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	want := e.cfg.Spec.Canonical()
+	for _, ent := range ents {
+		id, ok := parseCheckpointName(ent.Name())
+		if !ok || ent.IsDir() {
+			continue // not ours; leave it alone
+		}
+		snap, rerr := snapshot.ReadFile(filepath.Join(dir, ent.Name()))
+		if rerr != nil || snap.Spec.Canonical() != want {
+			skipped++
+			continue
+		}
+		p, rerr := snap.Restore()
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		sess := &session{
+			p:           p,
+			predictions: snap.Meta.Predictions,
+			hits:        snap.Meta.Hits,
+			updates:     snap.Meta.Updates,
+		}
+		resp := e.submitInternal(e.shardFor(id), request{op: opRestoreSession, session: id, sess: sess})
+		if resp.status != StatusOK {
+			skipped++
+			continue
+		}
+		restored++
+	}
+	return restored, skipped, nil
+}

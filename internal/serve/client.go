@@ -46,6 +46,12 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip writes one request frame and reads its response payload.
 func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+	return c.roundTripMax(op, payload, DefaultMaxFrame)
+}
+
+// roundTripMax is roundTrip with an explicit response-frame bound, for
+// the ops (SnapshotSession) whose responses outgrow DefaultMaxFrame.
+func (c *Client) roundTripMax(op byte, payload []byte, maxResp int) ([]byte, error) {
 	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 		return nil, err
 	}
@@ -55,7 +61,7 @@ func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	respOp, respPayload, err := readFrame(c.br, DefaultMaxFrame)
+	respOp, respPayload, err := readFrame(c.br, maxResp)
 	if err != nil {
 		return nil, err
 	}
@@ -124,4 +130,16 @@ func (c *Client) ResetSession(session uint64) (Status, error) {
 		return 0, err
 	}
 	return decodeStatusResp(p)
+}
+
+// SnapshotSession fetches the session's durable snapshot file — spec,
+// lifetime counters and complete predictor state — as encoded by
+// internal/snapshot. On non-OK statuses the bytes are nil.
+func (c *Client) SnapshotSession(session uint64) ([]byte, Status, error) {
+	p, err := c.roundTripMax(OpSnapshotSession, encodeSessionReq(session), MaxSnapshotFrame)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, blob, err := decodeSnapshotResp(p)
+	return blob, st, err
 }

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/trace"
@@ -13,9 +16,16 @@ import (
 
 // Config parameterizes an Engine.
 type Config struct {
-	// NewPredictor builds the predictor backing one session. Required.
-	// Each call must return a fresh, independent instance.
+	// NewPredictor builds the predictor backing one session. Each call
+	// must return a fresh, independent instance. Optional when Spec is
+	// set (the engine then derives it); when both are set, NewPredictor
+	// must build predictors matching Spec.
 	NewPredictor func() core.Predictor
+	// Spec is the predictor configuration in the shared flag
+	// vocabulary. Required for checkpointing and the SnapshotSession
+	// op: a snapshot records the spec so a restart (or cmd/vpstate)
+	// can rebuild the exact predictor.
+	Spec core.Spec
 	// Shards is the number of independent shard goroutines. Sessions
 	// are assigned to shards by hashing the session ID, so sessions on
 	// different shards never contend. 0 selects GOMAXPROCS.
@@ -28,6 +38,16 @@ type Config struct {
 	// MaxSessions caps live sessions across all shards; session
 	// creation beyond the cap is answered StatusBusy. 0 selects 4096.
 	MaxSessions int
+	// CheckpointDir, when non-empty, enables durable session state:
+	// every session is snapshot to one file in the directory
+	// (session-<id>.vps) on graceful Close, and LoadCheckpoints
+	// warm-starts from the same files on boot. Requires Spec. The
+	// directory is created if missing.
+	CheckpointDir string
+	// CheckpointInterval adds periodic background checkpoints between
+	// the boot and drain ones. 0 disables the ticker (checkpoint on
+	// drain only). Requires CheckpointDir.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +77,11 @@ type Stats struct {
 	Dropped     uint64       `json:"dropped"` // requests shed by backpressure
 	QueueDepth  int          `json:"queue_depth"`
 	ShardStats  []ShardStats `json:"shard_stats"`
+
+	// Checkpointing counters; all zero when CheckpointDir is unset.
+	Checkpoints      uint64 `json:"checkpoints"`       // completed whole-engine sweeps
+	CheckpointErrors uint64 `json:"checkpoint_errors"` // sessions that failed to persist
+	Restored         uint64 `json:"restored_sessions"` // sessions warm-started from disk
 }
 
 // ShardStats is the per-shard slice of a Stats snapshot.
@@ -67,13 +92,14 @@ type ShardStats struct {
 }
 
 // request is one unit of shard work. Exactly one of pcs/events is set
-// for the batch ops; reply is buffered so the shard never blocks on a
-// departed caller.
+// for the batch ops; sess only for the internal restore op; reply is
+// buffered so the shard never blocks on a departed caller.
 type request struct {
 	op      byte
 	session uint64
 	pcs     []uint32
 	events  []trace.Event
+	sess    *session // opRestoreSession: pre-built session to install
 	reply   chan response
 }
 
@@ -81,11 +107,19 @@ type response struct {
 	status Status
 	values []uint32
 	hits   uint32
+	blob   []byte           // OpSnapshotSession: encoded snapshot file
+	snaps  []sessionCapture // opCaptureShard
 }
 
-// session is the per-client predictor state owned by one shard.
+// session is the per-client predictor state owned by one shard. The
+// counters are lifetime totals (they survive ResetSession) and are
+// owned by the shard goroutine; checkpoints persist them so a restored
+// session resumes its stats where it left off.
 type session struct {
-	p core.Predictor
+	p           core.Predictor
+	predictions uint64
+	hits        uint64
+	updates     uint64
 }
 
 // shard owns a disjoint set of sessions and processes their requests
@@ -112,6 +146,12 @@ type Engine struct {
 	sessions atomic.Int64 // live sessions across shards
 	dropped  atomic.Uint64
 
+	checkpoints      atomic.Uint64
+	checkpointErrors atomic.Uint64
+	restored         atomic.Uint64
+	ckptQuit         chan struct{} // nil unless the ticker loop runs
+	ckptWG           sync.WaitGroup
+
 	mu     sync.RWMutex // guards closed against in-flight submits
 	closed bool
 	quit   chan struct{}
@@ -123,7 +163,28 @@ type Engine struct {
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NewPredictor == nil {
-		return nil, fmt.Errorf("serve: Config.NewPredictor is required")
+		if cfg.Spec.Kind == "" {
+			return nil, fmt.Errorf("serve: Config.NewPredictor or Config.Spec is required")
+		}
+		if _, err := cfg.Spec.New(); err != nil {
+			return nil, fmt.Errorf("serve: spec: %w", err)
+		}
+		spec := cfg.Spec
+		cfg.NewPredictor = func() core.Predictor {
+			p, err := spec.New()
+			if err != nil {
+				panic("serve: spec validated at engine start cannot fail: " + err.Error())
+			}
+			return p
+		}
+	}
+	if cfg.CheckpointDir != "" {
+		if cfg.Spec.Kind == "" {
+			return nil, fmt.Errorf("serve: checkpointing requires Config.Spec")
+		}
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+		}
 	}
 	e := &Engine{
 		cfg:    cfg,
@@ -139,6 +200,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.shards[i] = s
 		e.wg.Add(1)
 		go e.run(s)
+	}
+	if cfg.CheckpointDir != "" && cfg.CheckpointInterval > 0 {
+		e.ckptQuit = make(chan struct{})
+		e.ckptWG.Add(1)
+		go e.checkpointLoop(cfg.CheckpointInterval)
 	}
 	return e, nil
 }
@@ -194,6 +260,19 @@ func (e *Engine) getSession(s *shard, id uint64) *session {
 
 // handle executes one request on the shard goroutine.
 func (e *Engine) handle(s *shard, req request) {
+	switch req.op {
+	// The checkpoint ops run before getSession: none of them may
+	// implicitly create a session.
+	case opCaptureShard:
+		e.handleCaptureShard(s, req)
+		return
+	case opRestoreSession:
+		e.handleRestoreSession(s, req)
+		return
+	case OpSnapshotSession:
+		e.handleSnapshotSession(s, req)
+		return
+	}
 	sess := e.getSession(s, req.session)
 	if sess == nil {
 		req.reply <- response{status: StatusBusy}
@@ -205,6 +284,7 @@ func (e *Engine) handle(s *shard, req request) {
 		for i, pc := range req.pcs {
 			values[i] = sess.p.Predict(pc)
 		}
+		sess.predictions += uint64(len(req.pcs))
 		s.predictions.Add(uint64(len(req.pcs)))
 		req.reply <- response{status: StatusOK, values: values}
 	case OpUpdateBatch:
@@ -215,6 +295,8 @@ func (e *Engine) handle(s *shard, req request) {
 			}
 			sess.p.Update(ev.PC, ev.Value)
 		}
+		sess.hits += hits
+		sess.updates += uint64(len(req.events))
 		s.hits.Add(hits)
 		s.updates.Add(uint64(len(req.events)))
 		req.reply <- response{status: StatusOK}
@@ -237,6 +319,9 @@ func (e *Engine) handle(s *shard, req request) {
 				sess.p.Update(ev.PC, ev.Value)
 			}
 		}
+		sess.predictions += uint64(len(req.events))
+		sess.hits += uint64(hits)
+		sess.updates += uint64(len(req.events))
 		s.predictions.Add(uint64(len(req.events)))
 		s.hits.Add(uint64(hits))
 		s.updates.Add(uint64(len(req.events)))
@@ -250,6 +335,33 @@ func (e *Engine) handle(s *shard, req request) {
 	default:
 		req.reply <- response{status: StatusBadRequest}
 	}
+}
+
+// handleSnapshotSession serializes one live session on its shard
+// goroutine. Missing sessions are StatusBadRequest (a snapshot never
+// creates a session); engines without a Spec cannot describe their
+// predictor in a snapshot and answer StatusUnsupported.
+func (e *Engine) handleSnapshotSession(s *shard, req request) {
+	if e.cfg.Spec.Kind == "" {
+		req.reply <- response{status: StatusUnsupported}
+		return
+	}
+	sess, ok := s.sessions[req.session]
+	if !ok {
+		req.reply <- response{status: StatusBadRequest}
+		return
+	}
+	snap, err := e.captureSession(req.session, sess)
+	if err != nil {
+		req.reply <- response{status: StatusUnsupported}
+		return
+	}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		req.reply <- response{status: StatusBadRequest}
+		return
+	}
+	req.reply <- response{status: StatusOK, blob: buf.Bytes()}
 }
 
 // submit routes a request to its shard with backpressure: a full
@@ -300,16 +412,29 @@ func (e *Engine) ResetSession(sessionID uint64) Status {
 	return e.submit(request{op: OpResetSession, session: sessionID}).status
 }
 
+// SnapshotSession returns the session's encoded snapshot file (the
+// internal/snapshot format): spec, lifetime counters and complete
+// predictor state, captured atomically on the owning shard.
+// StatusBadRequest if the session does not exist, StatusUnsupported if
+// the engine has no Spec or its predictor cannot export state.
+func (e *Engine) SnapshotSession(sessionID uint64) ([]byte, Status) {
+	r := e.submit(request{op: OpSnapshotSession, session: sessionID})
+	return r.blob, r.status
+}
+
 // Snapshot collects the engine-level stats. Counters are read with
 // relaxed ordering — a snapshot taken during traffic is approximate
 // by nature.
 func (e *Engine) Snapshot() Stats {
 	st := Stats{
-		Predictor:  e.name,
-		Shards:     len(e.shards),
-		Sessions:   int(e.sessions.Load()),
-		Dropped:    e.dropped.Load(),
-		ShardStats: make([]ShardStats, len(e.shards)),
+		Predictor:        e.name,
+		Shards:           len(e.shards),
+		Sessions:         int(e.sessions.Load()),
+		Dropped:          e.dropped.Load(),
+		Checkpoints:      e.checkpoints.Load(),
+		CheckpointErrors: e.checkpointErrors.Load(),
+		Restored:         e.restored.Load(),
+		ShardStats:       make([]ShardStats, len(e.shards)),
 	}
 	for i, s := range e.shards {
 		ss := ShardStats{
@@ -342,7 +467,8 @@ func (e *Engine) StatsJSON() []byte {
 	return b
 }
 
-// Close drains in-flight requests and stops the shard goroutines.
+// Close drains in-flight requests, takes the final checkpoint when
+// checkpointing is configured, and stops the shard goroutines.
 // Requests arriving after Close are answered StatusClosed. Close is
 // idempotent.
 func (e *Engine) Close() {
@@ -353,6 +479,19 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	// Acquiring the write lock above waited out every in-flight submit
+	// (each holds the read lock until its reply), so the shards are now
+	// idle but still running — exactly the window for the drain
+	// checkpoint.
+	if e.cfg.CheckpointDir != "" {
+		if e.ckptQuit != nil {
+			close(e.ckptQuit)
+			e.ckptWG.Wait()
+		}
+		// A failed drain checkpoint is counted in CheckpointErrors;
+		// shutdown proceeds — it must not wedge the process exit.
+		_, _ = e.CheckpointAll()
+	}
 	close(e.quit)
 	e.wg.Wait()
 }

@@ -28,6 +28,15 @@
 //	             resp: status u8, JSON-encoded Stats
 //	ResetSession (0x05) req:  session u64
 //	             resp: status u8
+//	SnapshotSession (0x06) req:  session u64
+//	             resp: status u8, encoded internal/snapshot file
+//
+// SnapshotSession returns the session's durable snapshot — the same
+// bytes a server-side checkpoint writes to disk — captured atomically
+// on the owning shard. It never creates a session (a missing session
+// is StatusBadRequest) and is StatusUnsupported on engines without a
+// predictor spec. Responses can far exceed DefaultMaxFrame; clients
+// read them with the MaxSnapshotFrame bound.
 //
 // RunBatch performs the offline predict-compare-update loop
 // (core.Run) server-side, one event at a time in order, so a replay
@@ -44,6 +53,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -59,15 +69,21 @@ const (
 	// DefaultMaxFrame bounds the payload of a single frame; at 8
 	// bytes per event that is ~128k events per batch.
 	DefaultMaxFrame = 1 << 20
+
+	// MaxSnapshotFrame bounds a SnapshotSession response frame: the
+	// largest encodable predictor state plus the snapshot container
+	// and status overhead.
+	MaxSnapshotFrame = snapshot.MaxState + 4096
 )
 
 // Ops.
 const (
-	OpPredictBatch = 0x01
-	OpUpdateBatch  = 0x02
-	OpRunBatch     = 0x03
-	OpStats        = 0x04
-	OpResetSession = 0x05
+	OpPredictBatch    = 0x01
+	OpUpdateBatch     = 0x02
+	OpRunBatch        = 0x03
+	OpStats           = 0x04
+	OpResetSession    = 0x05
+	OpSnapshotSession = 0x06
 )
 
 // Status is the first byte of every response payload.
@@ -75,10 +91,11 @@ type Status uint8
 
 // Statuses.
 const (
-	StatusOK         Status = 0 // request processed
-	StatusBusy       Status = 1 // shard mailbox full — no prediction made
-	StatusClosed     Status = 2 // engine draining or closed
-	StatusBadRequest Status = 3 // malformed or oversized request
+	StatusOK          Status = 0 // request processed
+	StatusBusy        Status = 1 // shard mailbox full — no prediction made
+	StatusClosed      Status = 2 // engine draining or closed
+	StatusBadRequest  Status = 3 // malformed or oversized request
+	StatusUnsupported Status = 4 // op not available on this engine
 )
 
 // String implements fmt.Stringer.
@@ -92,6 +109,8 @@ func (s Status) String() string {
 		return "closed"
 	case StatusBadRequest:
 		return "bad-request"
+	case StatusUnsupported:
+		return "unsupported"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -310,4 +329,27 @@ func decodeStatsResp(p []byte) (Status, []byte, error) {
 		return 0, nil, ErrTruncated
 	}
 	return Status(p[0]), p[1:], nil
+}
+
+// encodeSnapshotResp builds a SnapshotSession response payload around
+// the encoded snapshot file bytes. blob is ignored unless st is
+// StatusOK.
+func encodeSnapshotResp(st Status, blob []byte) []byte {
+	if st != StatusOK {
+		return []byte{byte(st)}
+	}
+	b := make([]byte, 0, 1+len(blob))
+	b = append(b, byte(st))
+	return append(b, blob...)
+}
+
+func decodeSnapshotResp(p []byte) (Status, []byte, error) {
+	if len(p) < 1 {
+		return 0, nil, ErrTruncated
+	}
+	st := Status(p[0])
+	if st != StatusOK {
+		return st, nil, nil
+	}
+	return st, p[1:], nil
 }

@@ -150,7 +150,8 @@ func TestRunRespRoundTrip(t *testing.T) {
 func TestStatusString(t *testing.T) {
 	for st, want := range map[Status]string{
 		StatusOK: "ok", StatusBusy: "busy", StatusClosed: "closed",
-		StatusBadRequest: "bad-request", Status(42): "status(42)",
+		StatusBadRequest: "bad-request", StatusUnsupported: "unsupported",
+		Status(42): "status(42)",
 	} {
 		if st.String() != want {
 			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)

@@ -163,6 +163,13 @@ func (s *Server) dispatch(op byte, payload []byte) []byte {
 			return encodeStatusResp(StatusBadRequest)
 		}
 		return encodeStatusResp(s.engine.ResetSession(session))
+	case OpSnapshotSession:
+		session, err := decodeSessionReq(payload)
+		if err != nil {
+			return encodeSnapshotResp(StatusBadRequest, nil)
+		}
+		blob, st := s.engine.SnapshotSession(session)
+		return encodeSnapshotResp(st, blob)
 	default:
 		return encodeStatusResp(StatusBadRequest)
 	}

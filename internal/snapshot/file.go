@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the encoded snapshot: the
+// bytes land in a temp file in the same directory, are fsync'd, and
+// are renamed over the target, so a crash mid-checkpoint leaves either
+// the old snapshot or the new one — never a torn file. The directory
+// is fsync'd afterwards so the rename itself is durable.
+func WriteFile(path string, s *Snapshot) error {
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync is best-effort: some filesystems refuse it,
+		// and the rename above is already atomic.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile decodes one snapshot from path, rejecting files with bytes
+// past the checksum — a concatenated or overwritten-in-place file is
+// corrupt, not "a snapshot plus extras".
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%s: %w: trailing bytes after checksum", path, ErrCorrupt)
+	}
+	return s, nil
+}
