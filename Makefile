@@ -29,7 +29,7 @@ lint:
 	$(GO) run ./cmd/vplint ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/engine/... ./cmd/vpserve/... ./cmd/vploadgen/... ./cmd/dfcmsim/...
+	$(GO) test -race ./internal/serve/... ./internal/cluster/... ./internal/core/... ./internal/engine/... ./cmd/vpserve/... ./cmd/vprouter/... ./cmd/vploadgen/... ./cmd/dfcmsim/...
 
 # Short fuzz smoke over the attacker-facing decoders and the history
 # hashes. CI-friendly: a few seconds per target; crank -fuzztime for
@@ -57,9 +57,10 @@ bench:
 	{ $(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkPredict' -benchmem -count=$(BENCH_COUNT) . ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkSnapshot' -benchmem -count=$(BENCH_COUNT) . ; \
-	  $(GO) test -run='^$$' -bench='^BenchmarkEngineReplay$$' -benchmem ./internal/engine/ ; } \
+	  $(GO) test -run='^$$' -bench='^BenchmarkEngineReplay$$' -benchmem ./internal/engine/ ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkClusterBackends' -benchmem -count=$(BENCH_COUNT) ./internal/cluster/ ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_engine.json \
-	    -cmd "make bench (go test -bench . -benchtime 1x -benchmem; Predict*/Snapshot*/EngineReplay at steady state)" \
+	    -cmd "make bench (go test -bench . -benchtime 1x -benchmem; Predict*/Snapshot*/EngineReplay/ClusterBackends* at steady state)" \
 	    -speedup BenchmarkFig9=$(BENCH_FIG9_BASELINE_NS)
 	@cat BENCH_engine.json
 

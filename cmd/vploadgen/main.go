@@ -10,15 +10,25 @@
 // instead streams interleaved PredictBatch/UpdateBatch frames and
 // scores client-side, exercising the pipelined path.
 //
+// -addr may point at a single vpserve or at a cmd/vprouter fronting a
+// fleet — the wire protocol is identical, so the load generator does
+// not care. When it is a router, passing the router's admin address
+// via -admin additionally reports how the run's requests were
+// distributed across backends (from the router's /stats endpoint,
+// sampled before and after the run).
+//
 // Usage:
 //
 //	vploadgen -addr localhost:9177 -trace li.vtr -conns 8 -batch 256
 //	vploadgen -addr localhost:9177 -workload const=2,stride=6,cycle=4,rand=2 -events 200000
+//	vploadgen -addr localhost:9200 -admin localhost:9201 -conns 16
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -26,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -33,6 +44,7 @@ import (
 
 type loadConfig struct {
 	addr        string
+	adminAddr   string
 	traceFile   string
 	workload    string
 	events      int
@@ -44,7 +56,8 @@ type loadConfig struct {
 
 func parseFlags(fs *flag.FlagSet) *loadConfig {
 	c := &loadConfig{}
-	fs.StringVar(&c.addr, "addr", "localhost:9177", "vpserve address")
+	fs.StringVar(&c.addr, "addr", "localhost:9177", "vpserve or vprouter address")
+	fs.StringVar(&c.adminAddr, "admin", "", "vprouter admin address for per-backend load attribution (empty disables)")
 	fs.StringVar(&c.traceFile, "trace", "", "VTR1 trace file to replay")
 	fs.StringVar(&c.workload, "workload", "const=2,stride=6,cycle=4,rand=2",
 		"synthetic loop body (used when -trace is empty)")
@@ -294,13 +307,71 @@ func runLoad(c *loadConfig) (report, error) {
 	return rep, nil
 }
 
+// fetchRouterStats reads a vprouter admin /stats snapshot.
+func fetchRouterStats(addr string) (cluster.RouterStats, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return cluster.RouterStats{}, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return cluster.RouterStats{}, fmt.Errorf("router admin answered %s", resp.Status)
+	}
+	var st cluster.RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return cluster.RouterStats{}, err
+	}
+	return st, nil
+}
+
+// formatBackendLoad renders the per-backend request counts this run
+// added, by differencing the router's before/after stats snapshots.
+func formatBackendLoad(before, after cluster.RouterStats) string {
+	prior := make(map[string]uint64, len(before.Backends))
+	for _, b := range before.Backends {
+		prior[b.Addr] = b.Requests
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "backends:    %d (%d sessions routed, %d migrations)\n",
+		len(after.Backends), after.Sessions, after.Migrations)
+	for _, b := range after.Backends {
+		state := "up"
+		if !b.Healthy {
+			state = "DOWN"
+		}
+		fmt.Fprintf(&sb, "  %-24s %-4s %8d requests  %d sessions\n",
+			b.Addr, state, b.Requests-prior[b.Addr], b.Sessions)
+	}
+	return sb.String()
+}
+
 func main() {
 	cfg := parseFlags(flag.CommandLine)
 	flag.Parse()
+	var before cluster.RouterStats
+	if cfg.adminAddr != "" {
+		st, err := fetchRouterStats(cfg.adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vploadgen: router admin:", err)
+			os.Exit(1)
+		}
+		before = st
+	}
 	rep, err := runLoad(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vploadgen:", err)
 		os.Exit(1)
 	}
 	fmt.Print(rep)
+	if cfg.adminAddr != "" {
+		after, err := fetchRouterStats(cfg.adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vploadgen: router admin:", err)
+			os.Exit(1)
+		}
+		fmt.Print(formatBackendLoad(before, after))
+	}
 }

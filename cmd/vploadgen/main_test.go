@@ -3,11 +3,14 @@ package main
 import (
 	"flag"
 	"net"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -18,16 +21,7 @@ import (
 // port for the given predictor spec.
 func startServer(t *testing.T, spec core.Spec) string {
 	t.Helper()
-	engine, err := serve.NewEngine(serve.Config{
-		Shards: 2,
-		NewPredictor: func() core.Predictor {
-			p, err := spec.New()
-			if err != nil {
-				panic(err)
-			}
-			return p
-		},
-	})
+	engine, err := serve.NewEngine(serve.Config{Shards: 2, Spec: spec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,5 +195,103 @@ func TestFlagDefaultsParse(t *testing.T) {
 	}
 	if c.mode != "run" || c.conns != 1 || c.batch != 64 {
 		t.Errorf("defaults: %+v", c)
+	}
+}
+
+// startRouter fronts the given backends with an in-process
+// cmd/vprouter equivalent and returns the router, its VP1 address,
+// and its admin HTTP URL.
+func startRouter(t *testing.T, backends ...string) (*cluster.Router, string, string) {
+	t.Helper()
+	r, err := cluster.NewRouter(cluster.Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.Serve(ln) }()
+	admin := httptest.NewServer(r.AdminHandler())
+	t.Cleanup(func() {
+		admin.Close()
+		r.Close()
+	})
+	return r, ln.Addr().String(), admin.URL
+}
+
+// TestClusterSmokeMigration is the cluster integration smoke: two
+// backends behind a router, vploadgen traffic over several sessions,
+// and a forced live migration mid-traffic. Zero loss means the total
+// hit count still matches conns × the offline run exactly, and the
+// admin stats attribute the load per backend.
+func TestClusterSmokeMigration(t *testing.T) {
+	spec := core.Spec{Kind: "dfcm", L1: 10, L2: 10}
+	b1 := startServer(t, spec)
+	b2 := startServer(t, spec)
+	r, raddr, adminURL := startRouter(t, b1, b2)
+
+	events := sampleTrace(20000)
+	path := writeTempTrace(t, events)
+	offline, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Run(offline, trace.NewReader(events)).Correct
+
+	before, err := fetchRouterStats(adminURL)
+	if err != nil {
+		t.Fatalf("router admin before run: %v", err)
+	}
+
+	const conns = 4
+	migrated := make(chan error, 1)
+	go func() {
+		// Bounce session 1 to both backends while its replay runs: one
+		// of the two moves is a real snapshot → restore migration.
+		time.Sleep(30 * time.Millisecond)
+		if err := r.MigrateSession(1, b2); err != nil {
+			migrated <- err
+			return
+		}
+		migrated <- r.MigrateSession(1, b1)
+	}()
+	rep, err := runLoad(&loadConfig{
+		addr: raddr, traceFile: path, events: len(events),
+		conns: conns, batch: 64, mode: "run", sessionBase: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-migrated; err != nil {
+		t.Fatalf("mid-traffic migration: %v", err)
+	}
+	if rep.Hits != conns*want {
+		t.Errorf("migrated replay over %d conns: %d hits, offline %d each (want %d total)",
+			conns, rep.Hits, want, conns*want)
+	}
+	if got := r.Stats().Migrations; got != 2 {
+		t.Errorf("router reports %d migrations, want 2", got)
+	}
+
+	after, err := fetchRouterStats(adminURL)
+	if err != nil {
+		t.Fatalf("router admin after run: %v", err)
+	}
+	if after.Sessions != conns {
+		t.Errorf("router routed %d sessions, want %d", after.Sessions, conns)
+	}
+	var delta uint64
+	for i, b := range after.Backends {
+		delta += b.Requests - before.Backends[i].Requests
+	}
+	if wantReqs := rep.Events / 64; delta < wantReqs {
+		t.Errorf("backends absorbed %d requests, want ≥ %d", delta, wantReqs)
+	}
+	out := formatBackendLoad(before, after)
+	for _, addr := range []string{b1, b2} {
+		if !strings.Contains(out, addr) {
+			t.Errorf("per-backend load report is missing %s:\n%s", addr, out)
+		}
 	}
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// startBackend boots an in-process vpserve on a loopback port.
+func startBackend(t *testing.T, spec core.Spec) string {
+	t.Helper()
+	engine, err := serve.NewEngine(serve.Config{Spec: spec, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(engine, serve.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestNewRouterRejectsNoBackends(t *testing.T) {
+	for _, backends := range []string{"", " , ,"} {
+		fs := flag.NewFlagSet("vprouter", flag.ContinueOnError)
+		o := parseFlags(fs)
+		if err := fs.Parse([]string{"-backends", backends}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := newRouter(o); err == nil {
+			t.Errorf("backends=%q: newRouter succeeded", backends)
+		}
+	}
+}
+
+// TestRouterBootAndServe builds the router from flags exactly as main
+// does, serves it, and proves a stock serve.Client round-trips
+// through it to real backends — including the cluster-wide Stats
+// aggregation a single vpserve could not answer.
+func TestRouterBootAndServe(t *testing.T) {
+	spec := core.Spec{Kind: "dfcm", L1: 10, L2: 10}
+	b1 := startBackend(t, spec)
+	b2 := startBackend(t, spec)
+
+	fs := flag.NewFlagSet("vprouter", flag.ContinueOnError)
+	o := parseFlags(fs)
+	if err := fs.Parse([]string{"-backends", b1 + ", " + b2, "-health-interval", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := newRouter(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Backends(); len(got) != 2 {
+		t.Fatalf("router membership %v, want both backends", got)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.Serve(ln) }()
+
+	c, err := serve.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for id := uint64(1); id <= 4; id++ {
+		values, st, err := c.PredictBatch(id, []uint32{0x10, 0x14, 0x18})
+		if err != nil || st != serve.StatusOK {
+			t.Fatalf("PredictBatch session %d through router: %v %v", id, st, err)
+		}
+		if len(values) != 3 {
+			t.Fatalf("session %d: %d predictions, want 3", id, len(values))
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats through router: %v", err)
+	}
+	if st.Sessions != 4 || st.Predictions != 12 {
+		t.Errorf("aggregated stats %d sessions / %d predictions, want 4 / 12", st.Sessions, st.Predictions)
+	}
+}

@@ -7,10 +7,10 @@ import (
 )
 
 // ErrorDiscipline forbids silently discarded errors in the
-// operational layers — the cmd/ binaries and the network server in
-// internal/serve — where a dropped error turns into a truncated
-// artifact file, a half-written response, or a leaked connection that
-// no test will reproduce.
+// operational layers — the cmd/ binaries, the network server in
+// internal/serve, and the routing tier in internal/cluster — where a
+// dropped error turns into a truncated artifact file, a half-written
+// response, or a leaked connection that no test will reproduce.
 //
 // A call whose last result is an error must not appear as a bare
 // statement. Exempt:
@@ -24,12 +24,14 @@ import (
 //     decision rather than an accident.
 var ErrorDiscipline = &Analyzer{
 	ID:  "error-discipline",
-	Doc: "cmd/ and internal/serve must not silently discard error returns",
+	Doc: "cmd/, internal/serve and internal/cluster must not silently discard error returns",
 	Run: runErrorDiscipline,
 }
 
 func errorDisciplineScope(path string) bool {
-	return strings.Contains(path, "/cmd/") || strings.HasSuffix(path, "/internal/serve")
+	return strings.Contains(path, "/cmd/") ||
+		strings.HasSuffix(path, "/internal/serve") ||
+		strings.HasSuffix(path, "/internal/cluster")
 }
 
 func runErrorDiscipline(pass *Pass) {

@@ -88,8 +88,19 @@ func TestProtoBoundsSnapshotFixture(t *testing.T) {
 	runFixture(t, "protobounds_snapshot.go", "repro/internal/snapshot", ProtoBounds)
 }
 
+func TestProtoBoundsClusterFixture(t *testing.T) {
+	runFixture(t, "protobounds_cluster.go", "repro/internal/cluster", ProtoBounds)
+}
+
 func TestErrorDisciplineFixture(t *testing.T) {
 	runFixture(t, "errcheck.go", "repro/cmd/fixture", ErrorDiscipline)
+}
+
+// TestErrorDisciplineClusterFixture: the same discipline binds the
+// routing tier — the seeded cmd fixture must report identically under
+// the internal/cluster import path.
+func TestErrorDisciplineClusterFixture(t *testing.T) {
+	runFixture(t, "errcheck.go", "repro/internal/cluster", ErrorDiscipline)
 }
 
 // TestAnalyzersScopeToTheirPackages: the same violations outside the
@@ -106,6 +117,7 @@ func TestAnalyzersScopeToTheirPackages(t *testing.T) {
 		{"hotpath_engine.go", HotPathAlloc},
 		{"protobounds.go", ProtoBounds},
 		{"protobounds_snapshot.go", ProtoBounds},
+		{"protobounds_cluster.go", ProtoBounds},
 		{"errcheck.go", ErrorDiscipline},
 	}
 	for _, c := range cases {

@@ -15,10 +15,12 @@ import (
 // claiming 2^32 events allocates gigabytes before the truncation is
 // noticed.
 //
-// The rule covers the two packages that parse bytes from outside the
-// process: internal/serve (the VP1 wire protocol) and
-// internal/snapshot (checkpoint files, which may arrive from an
-// untrusted disk or a SnapshotSession peer). It inspects every
+// The rule covers the packages that parse bytes from outside the
+// process: internal/serve (the VP1 wire protocol, including the
+// RestoreSession request decoder), internal/snapshot (checkpoint
+// files, which may arrive from an untrusted disk or a SnapshotSession
+// peer) and internal/cluster (the router proxies the same untrusted
+// frames and decodes backend responses). It inspects every
 // function named readFrame or decode*/Decode*: each make() whose size
 // is not a compile-time constant must be preceded, in the same
 // function, by an if-statement that compares the size variable
@@ -32,7 +34,8 @@ var ProtoBounds = &Analyzer{
 
 func protoBoundsScope(path string) bool {
 	return strings.HasSuffix(path, "/internal/serve") ||
-		strings.HasSuffix(path, "/internal/snapshot")
+		strings.HasSuffix(path, "/internal/snapshot") ||
+		strings.HasSuffix(path, "/internal/cluster")
 }
 
 func runProtoBounds(pass *Pass) {

@@ -1,0 +1,58 @@
+// Seeded-violation fixture for the proto-bounds analyzer in its
+// third scope: the cluster routing tier, which proxies the same
+// untrusted VP1 frames the server parses and additionally decodes
+// backend responses (a compromised or confused backend must not be
+// able to make the router allocate unbounded buffers). Loaded with
+// import path "repro/internal/cluster".
+package cluster
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// readFrame trusts the length word from the peer — the exact bug the
+// rule exists for, in the router's own frame loop.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	payload := make([]byte, n) // want proto-bounds
+	_, err := io.ReadFull(r, payload)
+	return payload, err
+}
+
+// decodeBackendResp sizes a value slice from a backend-controlled
+// count without checking it against the payload that arrived.
+func decodeBackendResp(p []byte) []uint32 {
+	n := binary.BigEndian.Uint32(p)
+	out := make([]uint32, n) // want proto-bounds
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(p[4+4*i:])
+	}
+	return out
+}
+
+// DecodeRestoreBlob bounds the claimed size first — compliant.
+func DecodeRestoreBlob(p []byte, maxBlob int) ([]byte, error) {
+	if len(p) < 8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(p[4:])
+	if int(n) > maxBlob || int(n) > len(p)-8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	blob := make([]byte, n)
+	copy(blob, p[8:8+n])
+	return blob, nil
+}
+
+// forward is not a decode path; sizes derived from in-memory state
+// are out of scope.
+func forward(payload []byte) []byte {
+	buf := make([]byte, 8+len(payload))
+	copy(buf[8:], payload)
+	return buf
+}

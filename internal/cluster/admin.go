@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// BackendStatus is one backend's slice of the router stats.
+type BackendStatus struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Requests uint64 `json:"requests"` // client frames forwarded here
+	Probes   uint64 `json:"probes"`   // health probes sent
+	Sessions int    `json:"sessions"` // sessions currently routed here
+}
+
+// RouterStats is the router's own view of the cluster — routing and
+// membership state the backend Stats op cannot see. vploadgen reads
+// it from the admin listener to attribute load per backend.
+type RouterStats struct {
+	Backends      []BackendStatus `json:"backends"`
+	Sessions      int             `json:"sessions"`       // sessions with a recorded route
+	Pinned        int             `json:"pinned"`         // sessions routed off-ring (mid- or post-migration)
+	Migrations    uint64          `json:"migrations"`     // completed session migrations
+	ForwardErrors uint64          `json:"forward_errors"` // frames answered busy on transport failure
+}
+
+// Stats collects the router-level stats snapshot.
+func (r *Router) Stats() RouterStats {
+	r.mu.RLock()
+	perBackend := make(map[string]int, 4)
+	for s, loc := range r.routes {
+		if pin, ok := r.pins[s]; ok {
+			loc = pin
+		}
+		perBackend[loc]++
+	}
+	sessions := len(r.routes)
+	pinned := len(r.pins)
+	r.mu.RUnlock()
+
+	st := RouterStats{
+		Sessions:      sessions,
+		Pinned:        pinned,
+		Migrations:    r.migrations.Load(),
+		ForwardErrors: r.forwardErrors.Load(),
+	}
+	for _, b := range r.pool.Backends() {
+		st.Backends = append(st.Backends, BackendStatus{
+			Addr:     b.Addr(),
+			Healthy:  b.Healthy(),
+			Requests: b.Requests(),
+			Probes:   b.probes.Load(),
+			Sessions: perBackend[b.Addr()],
+		})
+	}
+	return st
+}
+
+// AdminHandler serves the router's control surface over HTTP:
+//
+//	GET  /stats                     router stats as JSON
+//	POST /migrate?session=N&to=A    migrate one session to backend A
+//	POST /backends/add?addr=A       grow membership (migrates moved sessions)
+//	POST /backends/remove?addr=A    drain and drop a backend
+//
+// Mutations answer 200 with "ok" on success and 4xx/5xx with the
+// error text otherwise. The listener this mounts on should not be
+// public: it can move sessions and reshape the cluster.
+func (r *Router) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Stats()); err != nil {
+			// The connection died mid-write; nothing to answer.
+			return
+		}
+	})
+	mux.HandleFunc("/migrate", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		session, err := strconv.ParseUint(req.URL.Query().Get("session"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad or missing session parameter", http.StatusBadRequest)
+			return
+		}
+		to := req.URL.Query().Get("to")
+		if to == "" {
+			http.Error(w, "missing to parameter", http.StatusBadRequest)
+			return
+		}
+		if err := r.MigrateSession(session, to); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/backends/add", func(w http.ResponseWriter, req *http.Request) {
+		adminMembership(w, req, r.AddBackend)
+	})
+	mux.HandleFunc("/backends/remove", func(w http.ResponseWriter, req *http.Request) {
+		adminMembership(w, req, r.RemoveBackend)
+	})
+	return mux
+}
+
+// adminMembership factors the add/remove endpoints' shared shape.
+func adminMembership(w http.ResponseWriter, req *http.Request, apply func(string) error) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	addr := req.URL.Query().Get("addr")
+	if addr == "" {
+		http.Error(w, "missing addr parameter", http.StatusBadRequest)
+		return
+	}
+	if err := apply(addr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/serve"
+)
+
+// healthLoop sweeps every backend each HealthInterval until Close.
+func (r *Router) healthLoop() {
+	defer r.healthWG.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.CheckHealth()
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+// CheckHealth probes every pooled backend once with a Stats round
+// trip — the cheapest op that proves the whole path (dial, frame
+// codec, engine) — and applies the failure threshold: HealthFails
+// consecutive failed probes mark a backend down, a single success
+// marks it back up. Down backends are skipped by ring lookups, so
+// their sessions fall through to the next node clockwise (cold: a
+// dead backend's unsnapshot state is gone — zero-loss migration needs
+// a live source; see DESIGN.md §11 failure modes). The sweep runs on
+// the health goroutine; tests call it directly to force a verdict.
+func (r *Router) CheckHealth() {
+	for _, b := range r.pool.Backends() {
+		b.probes.Add(1)
+		// The probe reuses pooled connections and the configured
+		// dialer; on a dead backend each sweep pays the dialer's
+		// retry budget, which bounds how fast HealthFails accrues.
+		err := r.pool.Do(b.Addr(), func(c *serve.Client) error {
+			_, err := c.Stats()
+			return err
+		})
+		if err != nil {
+			if int(b.fails.Add(1)) >= r.cfg.HealthFails {
+				b.healthy.Store(false)
+			}
+			continue
+		}
+		b.fails.Store(0)
+		b.healthy.Store(true)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cluster is the scale-out serving tier over internal/serve:
+// a consistent-hash ring mapping session IDs to vpserve backends, a
+// backend pool with per-backend connection reuse and health checks,
+// and a VP1 TCP proxy (the router) that forwards request frames to
+// the owning backend and migrates live sessions between backends with
+// zero prediction loss — quiesce, SnapshotSession on the source,
+// RestoreSession on the destination, re-route.
+//
+// The composition is deliberate: every moving part is an existing,
+// tested component (the VP1 protocol and client, the VPSS snapshot
+// container, the sharded engine); this package only arranges them
+// into a cluster. See DESIGN.md §11.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is
+// deterministic: it depends only on the member addresses and the
+// vnode count, never on insertion order, process identity or time —
+// two routers (or one router across restarts) configured with the
+// same members agree on every session's owner.
+//
+// Ring is not safe for concurrent mutation; the router mutates a
+// Clone and swaps it under its own lock.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// DefaultVNodes is the virtual-node count per backend when the
+// configuration does not choose one. 128 vnodes keep the expected
+// per-backend load within a few percent of uniform for small N.
+const DefaultVNodes = 128
+
+// NewRing returns an empty ring; vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// pointHash places one virtual node: FNV-1a over "addr#i". FNV is
+// stable across processes and platforms (unlike Go's seeded map
+// hash), which is what makes ring placement deterministic.
+func pointHash(addr string, i int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	_, _ = h.Write([]byte{'#'})
+	_, _ = h.Write([]byte(strconv.Itoa(i)))
+	return h.Sum64()
+}
+
+// sessionPoint places a session key on the ring with a splitmix64
+// finalizer, the same mixer the serve engine shards with: adjacent
+// session IDs (the common client choice) spread evenly.
+func sessionPoint(session uint64) uint64 {
+	x := session + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a backend's virtual nodes. Adding a present member is a
+// no-op.
+func (r *Ring) Add(addr string) {
+	if r.members[addr] {
+		return
+	}
+	r.members[addr] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(addr, i), addr: addr})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by address so placement
+		// stays order-independent.
+		return r.points[i].addr < r.points[j].addr
+	})
+}
+
+// Remove deletes a backend's virtual nodes. Removing an absent member
+// is a no-op.
+func (r *Ring) Remove(addr string) {
+	if !r.members[addr] {
+		return
+	}
+	delete(r.members, addr)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.addr != addr {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports membership.
+func (r *Ring) Has(addr string) bool { return r.members[addr] }
+
+// Members returns the backend addresses, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for addr := range r.members {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Clone returns an independent copy — the router's copy-on-write
+// membership updates mutate a clone and swap it in.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		vnodes:  r.vnodes,
+		points:  append([]ringPoint(nil), r.points...),
+		members: make(map[string]bool, len(r.members)),
+	}
+	for addr := range r.members {
+		c.members[addr] = true
+	}
+	return c
+}
+
+// Lookup returns the backend owning the session: the first virtual
+// node clockwise from the session's point. ok is false on an empty
+// ring.
+func (r *Ring) Lookup(session uint64) (addr string, ok bool) {
+	return r.LookupSkip(session, nil)
+}
+
+// LookupSkip is Lookup over the members for which skip returns false
+// — the router passes the down-backend predicate, so an unhealthy
+// owner's sessions fall through to the next live node clockwise. ok
+// is false when every member is skipped.
+func (r *Ring) LookupSkip(session uint64, skip func(addr string) bool) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := sessionPoint(session)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if skip == nil || !skip(p.addr) {
+			return p.addr, true
+		}
+	}
+	return "", false
+}

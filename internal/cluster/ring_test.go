@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(vnodes int, addrs ...string) *Ring {
+	r := NewRing(vnodes)
+	for _, a := range addrs {
+		r.Add(a)
+	}
+	return r
+}
+
+func assignments(r *Ring, sessions int) map[uint64]string {
+	m := make(map[uint64]string, sessions)
+	for s := uint64(1); s <= uint64(sessions); s++ {
+		addr, ok := r.Lookup(s)
+		if !ok {
+			panic("lookup on a populated ring failed")
+		}
+		m[s] = addr
+	}
+	return m
+}
+
+// TestRingDeterministic: placement depends only on membership and the
+// vnode count — not insertion order, not process state. Two rings
+// built independently (as two router processes, or one across a
+// restart, would) agree on every session.
+func TestRingDeterministic(t *testing.T) {
+	a := ringWith(128, "b1:9177", "b2:9177", "b3:9177")
+	b := ringWith(128, "b3:9177", "b1:9177", "b2:9177") // different order
+	for s := uint64(1); s <= 1000; s++ {
+		av, _ := a.Lookup(s)
+		bv, _ := b.Lookup(s)
+		if av != bv {
+			t.Fatalf("session %d: ring A says %s, ring B says %s", s, av, bv)
+		}
+	}
+	// A clone agrees too.
+	c := a.Clone()
+	for s := uint64(1); s <= 100; s++ {
+		av, _ := a.Lookup(s)
+		cv, _ := c.Lookup(s)
+		if av != cv {
+			t.Fatalf("session %d: clone diverged", s)
+		}
+	}
+}
+
+// TestRingKeyMovementOnAdd: growing N → N+1 backends must move about
+// 1/(N+1) of the keys, and every moved key must land on the new
+// backend — the property that makes membership changes cheap.
+func TestRingKeyMovementOnAdd(t *testing.T) {
+	const sessions = 1000
+	base := ringWith(128, "b1:1", "b2:1", "b3:1", "b4:1")
+	before := assignments(base, sessions)
+	grown := base.Clone()
+	grown.Add("b5:1")
+	after := assignments(grown, sessions)
+
+	moved := 0
+	for s, was := range before {
+		if now := after[s]; now != was {
+			moved++
+			if now != "b5:1" {
+				t.Fatalf("session %d moved %s → %s, not to the new backend", s, was, now)
+			}
+		}
+	}
+	// Expected movement is sessions/5 = 200; allow generous sampling
+	// slack but fail on rehash-everything behaviour.
+	if moved > sessions/5+sessions/10 {
+		t.Errorf("adding 1 of 5 backends moved %d/%d keys, want ≤ ~%d", moved, sessions, sessions/5)
+	}
+	if moved == 0 {
+		t.Error("adding a backend moved no keys — it is not taking load")
+	}
+}
+
+// TestRingRemoveInvertsAdd: dropping the backend restores the exact
+// prior assignment, so a rolling add+remove is a no-op for every
+// untouched session.
+func TestRingRemoveInvertsAdd(t *testing.T) {
+	base := ringWith(64, "b1:1", "b2:1", "b3:1")
+	before := assignments(base, 500)
+	changed := base.Clone()
+	changed.Add("b4:1")
+	changed.Remove("b4:1")
+	after := assignments(changed, 500)
+	for s, was := range before {
+		if after[s] != was {
+			t.Fatalf("session %d: %s → %s after add+remove round trip", s, was, after[s])
+		}
+	}
+}
+
+// TestRingUniformLoad: 1k sessions across 4 backends land within a
+// reasonable band around the fair share. The assignment is
+// deterministic, so the bounds cannot flake. More vnodes tighten the
+// band: 256 keeps every backend within 2× of fair.
+func TestRingUniformLoad(t *testing.T) {
+	const sessions, backends = 1000, 4
+	r := NewRing(256)
+	for i := 1; i <= backends; i++ {
+		r.Add(fmt.Sprintf("b%d:9177", i))
+	}
+	counts := make(map[string]int)
+	for s, addr := range assignments(r, sessions) {
+		_ = s
+		counts[addr]++
+	}
+	fair := sessions / backends
+	for addr, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("backend %s holds %d of %d sessions (fair share %d)", addr, n, sessions, fair)
+		}
+	}
+	if len(counts) != backends {
+		t.Errorf("only %d of %d backends hold sessions", len(counts), backends)
+	}
+}
+
+func TestRingLookupSkipAndEmpty(t *testing.T) {
+	if _, ok := NewRing(8).Lookup(1); ok {
+		t.Error("lookup on an empty ring succeeded")
+	}
+	r := ringWith(32, "b1:1", "b2:1")
+	owner, _ := r.Lookup(42)
+	alt, ok := r.LookupSkip(42, func(addr string) bool { return addr == owner })
+	if !ok || alt == owner {
+		t.Errorf("skipping the owner returned %q ok=%v", alt, ok)
+	}
+	if _, ok := r.LookupSkip(42, func(string) bool { return true }); ok {
+		t.Error("skipping every member still returned a backend")
+	}
+	// Idempotent mutations.
+	r.Add("b1:1")
+	r.Remove("absent")
+	if r.Len() != 2 {
+		t.Errorf("membership %d after idempotent ops, want 2", r.Len())
+	}
+}

@@ -77,12 +77,28 @@ func (e *Engine) handleCaptureShard(s *shard, req request) {
 	req.reply <- response{status: StatusOK, snaps: snaps}
 }
 
-// handleRestoreSession installs a warm-started session on its shard.
-// A session that is already live wins over the disk copy (it is newer
-// by construction), and the cap still applies.
+// handleRestoreSession installs a restored session on its shard. Two
+// callers use it with different collision semantics: warm start
+// (LoadCheckpoints) sends replace=false — a session that is already
+// live wins over the disk copy, which is older by construction — and
+// the wire RestoreSession op sends replace=true, because an explicit
+// restore (a migration push) is authoritative. The session cap applies
+// to new sessions either way.
 func (e *Engine) handleRestoreSession(s *shard, req request) {
-	if _, ok := s.sessions[req.session]; ok {
-		req.reply <- response{status: StatusBadRequest}
+	if old, ok := s.sessions[req.session]; ok {
+		if !req.replace {
+			req.reply <- response{status: StatusBadRequest}
+			return
+		}
+		s.sessions[req.session] = req.sess
+		// Credit the shard counters with the (wrapping) delta between
+		// the replaced session's lifetime totals and the restored ones,
+		// so engine Stats stay continuous across the swap.
+		s.predictions.Add(req.sess.predictions - old.predictions)
+		s.hits.Add(req.sess.hits - old.hits)
+		s.updates.Add(req.sess.updates - old.updates)
+		e.restored.Add(1)
+		req.reply <- response{status: StatusOK}
 		return
 	}
 	if int(e.sessions.Load()) >= e.cfg.MaxSessions {

@@ -41,6 +41,54 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	}, nil
 }
 
+// Dialer configures connection establishment for callers that must
+// not hang on a dead peer — the cluster router dials backends through
+// one. The zero value behaves like Dial: a 10s timeout, no retries.
+type Dialer struct {
+	// Timeout bounds each dial attempt and, on the returned client,
+	// each request round trip. 0 selects 10s.
+	Timeout time.Duration
+	// Retries is the number of additional dial attempts after a failed
+	// first one. Connect errors are treated as transient (a backend
+	// restarting, a listener not yet up); round-trip errors on an
+	// established connection are never retried here — requests are not
+	// known to be idempotent.
+	Retries int
+	// Backoff is the delay before the first retry, doubling on each
+	// subsequent one. 0 selects 50ms.
+	Backoff time.Duration
+}
+
+// Dial connects to addr, retrying transient connect errors with
+// exponential backoff up to d.Retries times.
+func (d Dialer) Dial(addr string) (*Client, error) {
+	timeout := d.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	backoff := d.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c, err := DialTimeout(addr, timeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if attempt >= d.Retries {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	if d.Retries > 0 {
+		return nil, fmt.Errorf("serve: dialing %s failed after %d attempts: %w", addr, d.Retries+1, lastErr)
+	}
+	return nil, lastErr
+}
+
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
@@ -142,4 +190,28 @@ func (c *Client) SnapshotSession(session uint64) ([]byte, Status, error) {
 	}
 	st, blob, err := decodeSnapshotResp(p)
 	return blob, st, err
+}
+
+// RestoreSession installs the session on the server from an encoded
+// snapshot file — typically bytes SnapshotSession returned, possibly
+// from a different server. An existing live session is replaced.
+func (c *Client) RestoreSession(session uint64, blob []byte) (Status, error) {
+	p, err := c.roundTrip(OpRestoreSession, encodeRestoreReq(session, blob))
+	if err != nil {
+		return 0, err
+	}
+	return decodeStatusResp(p)
+}
+
+// RoundTrip forwards an already-encoded request payload and returns
+// the raw response payload — the proxy path: the cluster router
+// reads a frame from its client, picks a backend by session, and
+// round-trips the payload verbatim. The response bound follows the
+// op (SnapshotSession responses may reach MaxSnapshotFrame).
+func (c *Client) RoundTrip(op byte, payload []byte) ([]byte, error) {
+	maxResp := DefaultMaxFrame
+	if op == OpSnapshotSession {
+		maxResp = MaxSnapshotFrame
+	}
+	return c.roundTripMax(op, payload, maxResp)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -100,6 +101,7 @@ type request struct {
 	pcs     []uint32
 	events  []trace.Event
 	sess    *session // opRestoreSession: pre-built session to install
+	replace bool     // opRestoreSession: replace an existing live session
 	reply   chan response
 }
 
@@ -420,6 +422,44 @@ func (e *Engine) ResetSession(sessionID uint64) Status {
 func (e *Engine) SnapshotSession(sessionID uint64) ([]byte, Status) {
 	r := e.submit(request{op: OpSnapshotSession, session: sessionID})
 	return r.blob, r.status
+}
+
+// RestoreSession installs a session from its encoded snapshot blob —
+// the bytes SnapshotSession returned, possibly on another engine,
+// which is how the cluster tier migrates a live session between
+// backends. The snapshot's canonical spec must match the engine's
+// (StatusSpecMismatch otherwise) and its meta session ID, when
+// nonzero, must match sessionID. A restore is authoritative: an
+// existing live session is replaced, which makes a re-driven
+// migration idempotent. Decode and state validation run on the
+// caller's goroutine; only the install itself visits the shard.
+// StatusUnsupported on engines without a Spec, StatusBadRequest on
+// undecodable or semantically invalid bytes.
+func (e *Engine) RestoreSession(sessionID uint64, blob []byte) Status {
+	if e.cfg.Spec.Kind == "" {
+		return StatusUnsupported
+	}
+	snap, err := snapshot.Decode(bytes.NewReader(blob))
+	if err != nil {
+		return StatusBadRequest
+	}
+	if snap.Spec.Canonical() != e.cfg.Spec.Canonical() {
+		return StatusSpecMismatch
+	}
+	if snap.Meta.Session != 0 && snap.Meta.Session != sessionID {
+		return StatusBadRequest
+	}
+	p, err := snap.Restore()
+	if err != nil {
+		return StatusBadRequest
+	}
+	sess := &session{
+		p:           p,
+		predictions: snap.Meta.Predictions,
+		hits:        snap.Meta.Hits,
+		updates:     snap.Meta.Updates,
+	}
+	return e.submit(request{op: opRestoreSession, session: sessionID, sess: sess, replace: true}).status
 }
 
 // Snapshot collects the engine-level stats. Counters are read with

@@ -59,6 +59,7 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(encodePredictReq(1, []uint32{10, 20}))
 	f.Add(encodeEventReq(1, []trace.Event{{PC: 4, Value: 9}}))
 	f.Add(encodeSessionReq(42))
+	f.Add(encodeRestoreReq(42, []byte{0x56, 0x50, 0x53, 0x53}))
 	f.Add(encodePredictResp(StatusOK, []uint32{5}))
 	f.Add(encodePredictResp(StatusBusy, nil))
 	f.Add(encodeRunResp(StatusOK, 3))
@@ -80,6 +81,12 @@ func FuzzDecodeMessage(f *testing.F) {
 		if session, err := decodeSessionReq(p); err == nil {
 			if s2, err := decodeSessionReq(encodeSessionReq(session)); err != nil || s2 != session {
 				t.Fatalf("session req round trip: %v", err)
+			}
+		}
+		if session, blob, err := decodeRestoreReq(p); err == nil {
+			s2, b2, err := decodeRestoreReq(encodeRestoreReq(session, blob))
+			if err != nil || s2 != session || !bytes.Equal(b2, blob) {
+				t.Fatalf("restore req round trip: %v", err)
 			}
 		}
 		if st, values, err := decodePredictResp(p); err == nil {

@@ -30,6 +30,8 @@
 //	             resp: status u8
 //	SnapshotSession (0x06) req:  session u64
 //	             resp: status u8, encoded internal/snapshot file
+//	RestoreSession  (0x07) req:  session u64, encoded internal/snapshot file
+//	             resp: status u8
 //
 // SnapshotSession returns the session's durable snapshot — the same
 // bytes a server-side checkpoint writes to disk — captured atomically
@@ -37,6 +39,22 @@
 // is StatusBadRequest) and is StatusUnsupported on engines without a
 // predictor spec. Responses can far exceed DefaultMaxFrame; clients
 // read them with the MaxSnapshotFrame bound.
+//
+// RestoreSession is the symmetric write: it installs the session from
+// an encoded snapshot — typically one SnapshotSession returned from
+// another server, which is how internal/cluster migrates a live
+// session between backends. The snapshot's canonical spec must match
+// the server's (StatusSpecMismatch otherwise) and its meta session ID,
+// when nonzero, must match the addressed session. A restore is
+// authoritative: an existing live session is replaced. Request frames
+// carry the snapshot blob and may exceed an ordinary server's
+// MaxFrame; servers accept them up to MaxSnapshotFrame.
+//
+// Servers answer a request frame declaring a payload beyond the
+// applicable cap — but within MaxSnapshotFrame — with
+// StatusBadRequest after draining the declared bytes, keeping the
+// connection synchronized. Only a frame beyond MaxSnapshotFrame,
+// which no VP1 peer legitimately sends, drops the connection.
 //
 // RunBatch performs the offline predict-compare-update loop
 // (core.Run) server-side, one event at a time in order, so a replay
@@ -84,6 +102,7 @@ const (
 	OpStats           = 0x04
 	OpResetSession    = 0x05
 	OpSnapshotSession = 0x06
+	OpRestoreSession  = 0x07
 )
 
 // Status is the first byte of every response payload.
@@ -94,8 +113,9 @@ const (
 	StatusOK          Status = 0 // request processed
 	StatusBusy        Status = 1 // shard mailbox full — no prediction made
 	StatusClosed      Status = 2 // engine draining or closed
-	StatusBadRequest  Status = 3 // malformed or oversized request
-	StatusUnsupported Status = 4 // op not available on this engine
+	StatusBadRequest   Status = 3 // malformed or oversized request
+	StatusUnsupported  Status = 4 // op not available on this engine
+	StatusSpecMismatch Status = 5 // snapshot built under a different predictor spec
 )
 
 // String implements fmt.Stringer.
@@ -111,6 +131,8 @@ func (s Status) String() string {
 		return "bad-request"
 	case StatusUnsupported:
 		return "unsupported"
+	case StatusSpecMismatch:
+		return "spec-mismatch"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -233,6 +255,24 @@ func decodeEventReq(p []byte) (session uint64, events []trace.Event, err error) 
 	return session, events, nil
 }
 
+// encodeRestoreReq builds a RestoreSession request payload: the
+// addressed session ID followed by the encoded snapshot file.
+func encodeRestoreReq(session uint64, blob []byte) []byte {
+	b := make([]byte, 0, 8+len(blob))
+	b = appendU64(b, session)
+	return append(b, blob...)
+}
+
+// decodeRestoreReq splits a RestoreSession payload. The blob aliases
+// the input; the snapshot decoder validates its structure (and bounds
+// every section before allocating).
+func decodeRestoreReq(p []byte) (session uint64, blob []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(p), p[8:], nil
+}
+
 // encodeSessionReq builds a ResetSession request payload.
 func encodeSessionReq(session uint64) []byte {
 	return appendU64(make([]byte, 0, 8), session)
@@ -352,4 +392,81 @@ func decodeSnapshotResp(p []byte) (Status, []byte, error) {
 		return st, nil, nil
 	}
 	return st, p[1:], nil
+}
+
+// --- server-side frame API (shared with the cluster router) ----------
+
+// ReadRequestFrame reads one request frame with the server-side cap
+// discipline shared by the vpserve server and the vprouter proxy:
+// maxFrame (<= 0 selects DefaultMaxFrame) bounds ordinary request
+// payloads, while RestoreSession requests — which carry a snapshot
+// blob — are always allowed up to MaxSnapshotFrame. A frame declaring
+// a payload beyond its cap but within MaxSnapshotFrame is drained and
+// reported oversized=true, so the caller can answer StatusBadRequest
+// on a still-synchronized connection. Only a frame beyond
+// MaxSnapshotFrame, which no VP1 peer legitimately sends, is an error.
+func ReadRequestFrame(r io.Reader, maxFrame int) (op byte, payload []byte, oversized bool, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, false, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != protoMagic {
+		return 0, nil, false, ErrBadMagic
+	}
+	if hdr[2] != protoVersion {
+		return 0, nil, false, ErrBadVersion
+	}
+	op = hdr[3]
+	n := binary.BigEndian.Uint32(hdr[4:])
+	limit := maxFrame
+	if op == OpRestoreSession && limit < MaxSnapshotFrame {
+		limit = MaxSnapshotFrame
+	}
+	if uint64(n) > uint64(limit) {
+		if uint64(n) > uint64(MaxSnapshotFrame) {
+			return 0, nil, false, ErrFrameSize
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+			return 0, nil, false, err
+		}
+		return op, nil, true, nil
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, false, fmt.Errorf("serve: reading %d-byte payload: %w", n, err)
+	}
+	return op, payload, false, nil
+}
+
+// WriteResponseFrame emits the response frame for op — the op byte
+// with the response flag set — around an already-encoded payload.
+func WriteResponseFrame(w io.Writer, op byte, payload []byte) error {
+	return writeFrame(w, op|respFlag, payload)
+}
+
+// StatusResponse encodes a status-only response payload. Every VP1
+// response decoder accepts a one-byte payload for a non-OK status, so
+// this is the universal error answer for any op — the cluster router
+// uses it when a backend is unreachable or a frame was oversized.
+func StatusResponse(st Status) []byte { return encodeStatusResp(st) }
+
+// StatsResponse encodes a Stats response payload around a JSON body.
+func StatsResponse(body []byte) []byte { return encodeStatsResp(StatusOK, body) }
+
+// RequestSession extracts the session ID a request payload addresses,
+// without decoding the rest — how the cluster router picks a backend
+// for a frame it otherwise forwards opaquely. ok is false for ops that
+// carry no session (Stats) and for payloads too short to hold one.
+func RequestSession(op byte, payload []byte) (session uint64, ok bool) {
+	switch op {
+	case OpPredictBatch, OpUpdateBatch, OpRunBatch, OpResetSession, OpSnapshotSession, OpRestoreSession:
+		if len(payload) < 8 {
+			return 0, false
+		}
+		return binary.BigEndian.Uint64(payload), true
+	}
+	return 0, false
 }

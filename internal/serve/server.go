@@ -109,14 +109,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return // connection already dead
 		}
-		op, payload, err := readFrame(br, s.cfg.MaxFrame)
+		op, payload, oversized, err := ReadRequestFrame(br, s.cfg.MaxFrame)
 		if err != nil {
-			// EOF, timeout, oversized or malformed frame: drop the
-			// connection. The framing carries no frame IDs, so there
+			// EOF, timeout, insane frame size or malformed header: drop
+			// the connection. The framing carries no frame IDs, so there
 			// is no way to resynchronize a corrupted stream.
 			return
 		}
-		respPayload := s.dispatch(op, payload)
+		var respPayload []byte
+		if oversized {
+			// The declared payload exceeded the cap but was drained in
+			// full, so the stream is still synchronized: answer a clean
+			// status instead of dropping the connection.
+			respPayload = encodeStatusResp(StatusBadRequest)
+		} else {
+			respPayload = s.dispatch(op, payload)
+		}
 		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 			return
 		}
@@ -170,6 +178,12 @@ func (s *Server) dispatch(op byte, payload []byte) []byte {
 		}
 		blob, st := s.engine.SnapshotSession(session)
 		return encodeSnapshotResp(st, blob)
+	case OpRestoreSession:
+		session, blob, err := decodeRestoreReq(payload)
+		if err != nil {
+			return encodeStatusResp(StatusBadRequest)
+		}
+		return encodeStatusResp(s.engine.RestoreSession(session, blob))
 	default:
 		return encodeStatusResp(StatusBadRequest)
 	}
