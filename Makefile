@@ -22,11 +22,15 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific invariants: Predict purity, replay determinism,
-# hot-path allocation discipline, VP1 decode bounds, error discipline.
+# hot-path allocation discipline, VP1 decode bounds, error discipline,
+# lock discipline around guardedby-annotated fields, goroutine
+# lifecycle ties, VP1 op/status exhaustiveness, and snapshot
+# append/restore symmetry. One process runs all nine rules; the
+# deadline keeps that single-pass design honest as the tree grows.
 # Non-zero exit on any finding; suppress only with
 # //lint:ignore <rule> <reason>.
 lint:
-	$(GO) run ./cmd/vplint ./...
+	$(GO) run ./cmd/vplint -deadline 60s ./...
 
 race:
 	$(GO) test -race ./internal/serve/... ./internal/cluster/... ./internal/core/... ./internal/engine/... ./cmd/vpserve/... ./cmd/vprouter/... ./cmd/vploadgen/... ./cmd/dfcmsim/...

@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	vplint [-C dir] [-rules id,id,...] [-list] [packages]
+//	vplint [-C dir] [-rules id,id,...] [-list] [-json] [-deadline d] [packages]
 //
 // Packages are directory patterns relative to the working directory
 // ("./...", "./internal/core", "internal/serve/..."); with none given
 // the whole module is analyzed. Rules are selected by ID (see -list).
-// Findings print as file:line:col: rule: message, one per line, and
-// the exit status is 1 when any are reported, 2 on usage errors, 3
-// when the tree cannot be loaded or type-checked.
+// Findings print as file:line:col: rule: message, one per line — or,
+// with -json, as a JSON array of {file, line, col, rule, message}
+// objects (file is module-root-relative) for machine consumers such as
+// the CI annotation step. The wall time of the load+analysis pass is
+// always reported on stderr; -deadline turns a slow run into a
+// failure, keeping the single-process multi-rule design honest as the
+// tree grows. Exit status: 1 when findings are reported, 2 on usage
+// errors, 3 when the tree cannot be loaded or type-checked, 4 when the
+// run is clean but exceeded the deadline.
 //
 // Suppress a finding by annotating its line (or the line above) with
 //
@@ -19,12 +25,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -39,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("C", ".", "analyze the module containing this directory")
 	rules := fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file paths module-root-relative)")
+	deadline := fs.Duration("deadline", 0, "exit 4 if load+analysis wall time exceeds this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	began := time.Now()
 	pkgs, err := analysis.LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "vplint:", err)
@@ -75,14 +86,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pkgs = filterPackages(pkgs, fs.Args(), start)
 
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	elapsed := time.Since(began)
+	fmt.Fprintf(stderr, "vplint: %d rule(s) over %d package(s) in %s\n",
+		len(analyzers), len(pkgs), elapsed.Round(time.Millisecond))
+
+	if *jsonOut {
+		if err := writeJSON(stdout, root, diags); err != nil {
+			fmt.Fprintln(stderr, "vplint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "vplint: %d finding(s)\n", len(diags))
 		return 1
 	}
+	if *deadline > 0 && elapsed > *deadline {
+		fmt.Fprintf(stderr, "vplint: clean, but %s exceeded the %s deadline\n", elapsed.Round(time.Millisecond), *deadline)
+		return 4
+	}
 	return 0
+}
+
+// jsonFinding is the machine-readable diagnostic shape; file is
+// relative to the module root so CI annotations attach to the right
+// blob regardless of checkout directory.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			File:    file,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 // findModuleRoot walks up from dir to the directory containing

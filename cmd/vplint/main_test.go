@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -112,6 +113,62 @@ func TestListRules(t *testing.T) {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("-list output missing %s", id)
 		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"cmd/tool/main.go": dirtyMain})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", dir, "-json"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output carries no findings")
+	}
+	f := findings[0]
+	if f.File != "cmd/tool/main.go" || f.Line != 10 || f.Rule != "error-discipline" || f.Message == "" {
+		t.Errorf("finding fields wrong: %+v", f)
+	}
+
+	// A clean tree must still emit a (now empty) array, so consumers
+	// can parse unconditionally.
+	dir = writeModule(t, map[string]string{"cmd/tool/main.go": "package main\n\nfunc main() {}\n"})
+	out.Reset()
+	if code := run([]string{"-C", dir, "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("clean tree: exit %d", code)
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil || len(findings) != 0 {
+		t.Errorf("clean tree JSON = %q (err %v), want []", out.String(), err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	dir := writeModule(t, map[string]string{"cmd/tool/main.go": "package main\n\nfunc main() {}\n"})
+	var out, errOut bytes.Buffer
+	// No run over a real module completes within a nanosecond, so a
+	// clean tree must exit 4 and say so.
+	if code := run([]string{"-C", dir, "-deadline", "1ns"}, &out, &errOut); code != 4 {
+		t.Fatalf("exit %d, want 4; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "deadline") {
+		t.Errorf("stderr does not mention the deadline: %q", errOut.String())
+	}
+	// A generous deadline passes, and the timing line is always there.
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "-deadline", "10m"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "package(s) in") {
+		t.Errorf("stderr missing the wall-time line: %q", errOut.String())
+	}
+	// Findings outrank a blown deadline: the finding exit code wins.
+	dir = writeModule(t, map[string]string{"cmd/tool/main.go": dirtyMain})
+	if code := run([]string{"-C", dir, "-deadline", "1ns"}, &out, &errOut); code != 1 {
+		t.Fatalf("findings + blown deadline: exit %d, want 1", code)
 	}
 }
 

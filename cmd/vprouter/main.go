@@ -26,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -96,13 +97,22 @@ func main() {
 	}
 	log.Printf("vprouter: routing %v on %s", r.Backends(), ln.Addr())
 
+	// The admin listener is tied to shutdown below: its goroutine
+	// closes adminDone, and the signal path closes the http.Server and
+	// joins on it, so no goroutine outlives Close (goroutine-lifecycle).
+	adminDone := make(chan struct{})
+	var adminSrv *http.Server
 	if o.adminAddr != "" {
+		adminSrv = &http.Server{Addr: o.adminAddr, Handler: r.AdminHandler()}
 		go func() {
-			if err := http.ListenAndServe(o.adminAddr, r.AdminHandler()); err != nil {
+			defer close(adminDone)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("vprouter: admin listener: %v", err)
 			}
 		}()
 		log.Printf("vprouter: admin on http://%s/stats", o.adminAddr)
+	} else {
+		close(adminDone)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -113,6 +123,10 @@ func main() {
 	select {
 	case s := <-sig:
 		log.Printf("vprouter: %v: shutting down", s)
+		if adminSrv != nil {
+			_ = adminSrv.Close()
+		}
+		<-adminDone
 		r.Close()
 		st := r.Stats()
 		log.Printf("vprouter: routed %d sessions, %d migrations, %d forward errors",

@@ -26,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -115,15 +116,24 @@ func main() {
 	}
 	log.Printf("vpserve: serving %s on %s", srv.Engine().Snapshot().Predictor, ln.Addr())
 
+	// The stats listener is tied to the drain path below: its goroutine
+	// closes statsDone, and shutdown closes the http.Server and joins
+	// on it, so no goroutine outlives the drain (goroutine-lifecycle).
+	statsDone := make(chan struct{})
+	var statsSrv *http.Server
 	if o.httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/stats", serve.StatsHandler(srv.Engine()))
+		statsSrv = &http.Server{Addr: o.httpAddr, Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(o.httpAddr, mux); err != nil {
+			defer close(statsDone)
+			if err := statsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("vpserve: http stats listener: %v", err)
 			}
 		}()
 		log.Printf("vpserve: stats on http://%s/stats", o.httpAddr)
+	} else {
+		close(statsDone)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -139,6 +149,10 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("vpserve: drain incomplete: %v", err)
 		}
+		if statsSrv != nil {
+			_ = statsSrv.Close()
+		}
+		<-statsDone
 		st := srv.Engine().Snapshot()
 		log.Printf("vpserve: served %d predictions (%.4f hit rate), %d sessions",
 			st.Predictions, st.HitRate, st.Sessions)

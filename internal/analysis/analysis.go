@@ -3,8 +3,11 @@
 // external module dependencies), a diagnostic model, and a small set
 // of analyzers that enforce invariants the rest of the codebase only
 // probes dynamically — Predict purity, replay determinism, hot-path
-// allocation discipline, wire-protocol bounds checking, and error
-// handling in the operational layers.
+// allocation discipline, wire-protocol bounds checking, error
+// handling in the operational layers, and the concurrency/protocol
+// invariants of the serving tier: mutex discipline around annotated
+// fields, goroutine lifecycle ties, VP1 op/status exhaustiveness, and
+// Snapshotter append/restore symmetry.
 //
 // The analyzers are deliberately narrow: each encodes one invariant
 // documented in DESIGN.md §"Statically enforced invariants", scoped
@@ -54,10 +57,14 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Pass carries one (analyzer, package) pairing.
+// Pass carries one (analyzer, package) pairing. All holds every
+// package of the Run invocation, so cross-package analyzers
+// (proto-exhaustive checks serve's constants against the cluster
+// router's forwarding) can look beyond Pkg.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	All      []*Package
 	diags    *[]Diagnostic
 }
 
@@ -78,6 +85,10 @@ func All() []*Analyzer {
 		HotPathAlloc,
 		ProtoBounds,
 		ErrorDiscipline,
+		LockDiscipline,
+		GoroutineLifecycle,
+		ProtoExhaustive,
+		SnapshotSymmetry,
 	}
 }
 
@@ -110,7 +121,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, diags: &diags}
 			a.Run(pass)
 		}
 		diags = append(diags, pkg.badDirectives...)

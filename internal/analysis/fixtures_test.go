@@ -103,6 +103,41 @@ func TestErrorDisciplineClusterFixture(t *testing.T) {
 	runFixture(t, "errcheck.go", "repro/internal/cluster", ErrorDiscipline)
 }
 
+func TestLockDisciplineFixture(t *testing.T) {
+	runFixture(t, "lockdiscipline.go", "repro/internal/serve", LockDiscipline)
+}
+
+// TestLockDisciplineFixtureAnywhere: the rule anchors on the guardedby
+// annotations, not a package list — the same file must report
+// identically under any import path.
+func TestLockDisciplineFixtureAnywhere(t *testing.T) {
+	runFixture(t, "lockdiscipline.go", "repro/internal/elsewhere", LockDiscipline)
+}
+
+func TestGoroutineLifecycleFixture(t *testing.T) {
+	runFixture(t, "goroutine.go", "repro/internal/serve", GoroutineLifecycle)
+}
+
+// TestGoroutineLifecycleFixtureCmd: the cmd harnesses are in scope too
+// — that is where loose auxiliary listeners have historically lived.
+func TestGoroutineLifecycleFixtureCmd(t *testing.T) {
+	runFixture(t, "goroutine.go", "repro/cmd/vpserve", GoroutineLifecycle)
+}
+
+func TestProtoExhaustiveFixture(t *testing.T) {
+	runFixture(t, "protoexhaustive.go", "repro/internal/serve", ProtoExhaustive)
+}
+
+func TestSnapshotSymmetryFixture(t *testing.T) {
+	runFixture(t, "snapshotsymmetry.go", "repro/internal/core", SnapshotSymmetry)
+}
+
+// TestSnapshotSymmetryFixtureAnywhere: like lock-discipline, the rule
+// anchors on the method-name convention, not the import path.
+func TestSnapshotSymmetryFixtureAnywhere(t *testing.T) {
+	runFixture(t, "snapshotsymmetry.go", "repro/internal/elsewhere", SnapshotSymmetry)
+}
+
 // TestAnalyzersScopeToTheirPackages: the same violations outside the
 // scoped packages must not be reported — the rules are invariants of
 // specific layers, not global style.
@@ -119,6 +154,8 @@ func TestAnalyzersScopeToTheirPackages(t *testing.T) {
 		{"protobounds_snapshot.go", ProtoBounds},
 		{"protobounds_cluster.go", ProtoBounds},
 		{"errcheck.go", ErrorDiscipline},
+		{"goroutine.go", GoroutineLifecycle},
+		{"protoexhaustive.go", ProtoExhaustive},
 	}
 	for _, c := range cases {
 		src, err := os.ReadFile(filepath.Join("testdata", c.fixture))

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLifecycle requires every goroutine spawned in the serving
+// tier to be tied to a shutdown mechanism: its body (or the body of
+// the same-package function it calls) must signal or observe
+// completion through a sync.WaitGroup Done, a channel close, a
+// channel send/receive, or a context Done — something a Close/drain
+// path can join on. A `go` statement with none of these is
+// fire-and-forget: it can outlive Close, keep sockets open past
+// drain, and leak under the race detector's nose.
+//
+// Scope: internal/serve and internal/cluster (the concurrent serving
+// packages) plus cmd/vpserve and cmd/vprouter (their process
+// harnesses, where auxiliary listeners have historically been spawned
+// loose).
+var GoroutineLifecycle = &Analyzer{
+	ID:  "goroutine-lifecycle",
+	Doc: "goroutines in the serving tier must be joinable: WaitGroup, done channel, or context tie",
+	Run: runGoroutineLifecycle,
+}
+
+func goroutineScope(path string) bool {
+	return strings.HasSuffix(path, "/internal/serve") ||
+		strings.HasSuffix(path, "/internal/cluster") ||
+		strings.HasSuffix(path, "/cmd/vpserve") ||
+		strings.HasSuffix(path, "/cmd/vprouter")
+}
+
+func runGoroutineLifecycle(pass *Pass) {
+	if !goroutineScope(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Same-package function/method declarations by object, so
+	// `go e.run(s)` resolves to run's body.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				if obj := info.Defs[decl.Name]; obj != nil {
+					decls[obj] = decl
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, known := spawnedBody(info, decls, g.Call)
+			if !known {
+				pass.Reportf(g.Pos(), "goroutine body is outside the package — cannot prove it is joinable; wrap it in a function tied to a WaitGroup or done channel")
+				return true
+			}
+			if !joinable(info, body) {
+				pass.Reportf(g.Pos(), "fire-and-forget goroutine: body signals no WaitGroup/done channel/context, so Close/drain cannot join it")
+			}
+			return true
+		})
+	}
+}
+
+// spawnedBody resolves the function body a go statement runs: a
+// literal's own body, or the declaration of a same-package function
+// or method.
+func spawnedBody(info *types.Info, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, bool) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fn.Body, true
+	case *ast.Ident:
+		if decl, ok := decls[info.Uses[fn]]; ok {
+			return decl.Body, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok && sel.Kind() == types.MethodVal {
+			if decl, ok := decls[sel.Obj()]; ok {
+				return decl.Body, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// joinable reports whether the body contains any completion signal a
+// shutdown path can couple to: wg.Done(), close(ch), a channel
+// send/receive (including select and range-over-channel), or
+// ctx.Done().
+func joinable(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t, ok := info.Types[x.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if pkg, name := calleeName(info, x); pkg == "" && name == "close" {
+				found = true
+				return false
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Wait":
+					if t, ok := info.Types[sel.X]; ok && isWaitGroup(t.Type) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

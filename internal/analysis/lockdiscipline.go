@@ -1,0 +1,542 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces a guarded-by annotation convention on struct
+// fields: a field declared with a trailing (or preceding) comment
+//
+//	// vplint:guardedby mu
+//
+// may only be read while the declaring struct's mu (a sync.Mutex or
+// sync.RWMutex sibling field) is held — Lock or RLock — and may only
+// be written under the exclusive Lock. The analyzer tracks lock state
+// statement by statement through each function body:
+//
+//   - mu.Lock()/mu.RLock() acquire; mu.Unlock()/mu.RUnlock() release.
+//   - defer mu.Unlock() holds the lock to the end of the scope.
+//   - An Unlock inside a block that terminates (return, break,
+//     continue, panic, os.Exit) releases only for the remainder of
+//     that block — the early-return idiom
+//     `mu.Lock(); if bad { mu.Unlock(); return }; field++`
+//     keeps the lock on the fallthrough path.
+//   - After an if/else or switch whose branches disagree, the lock
+//     counts as held only if every non-terminating path holds it.
+//   - Function literals are separate scopes: a goroutine or closure
+//     body starts with no locks held, even mid-critical-section.
+//   - Accesses to fields of a struct value created inside the same
+//     function (constructor idiom) are exempt — the value is not yet
+//     shared.
+//
+// The annotation lives where the invariant lives (the struct
+// declaration), so the rule needs no package allowlist: any package
+// that annotates a field gets the checking.
+var LockDiscipline = &Analyzer{
+	ID:  "lock-discipline",
+	Doc: "fields annotated `vplint:guardedby mu` are only accessed with mu held (writes need the exclusive lock)",
+	Run: runLockDiscipline,
+}
+
+const guardedByMarker = "vplint:guardedby"
+
+// guardInfo is one annotated field: the lock sibling that guards it.
+type guardInfo struct {
+	lockName string
+}
+
+// collectGuards parses every struct type's field comments for
+// guardedby annotations, validating that the named lock is a sibling
+// field of type sync.Mutex or sync.RWMutex. Returns annotated field
+// object → guard.
+func collectGuards(pass *Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Map sibling field name → type, to validate lock refs.
+			fieldType := make(map[string]types.Type)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if obj := info.Defs[name]; obj != nil {
+						fieldType[name.Name] = obj.Type()
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				lock, pos, ok := guardAnnotation(fld)
+				if !ok {
+					continue
+				}
+				lt, declared := fieldType[lock]
+				if !declared || !isMutexType(lt) {
+					pass.Reportf(pos, "guardedby names %q, which is not a sync.Mutex/RWMutex sibling field", lock)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{lockName: lock}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the lock name from a field's line comment
+// or doc comment. Reports the position for malformed-annotation
+// diagnostics.
+func guardAnnotation(fld *ast.Field) (lock string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Comment, fld.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			idx := strings.Index(text, guardedByMarker)
+			if idx < 0 {
+				continue
+			}
+			rest := strings.Fields(text[idx+len(guardedByMarker):])
+			if len(rest) == 0 {
+				return "", c.Pos(), true // malformed: no lock named
+			}
+			return rest[0], c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func runLockDiscipline(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			lc := &lockChecker{pass: pass, guards: guards, locals: funcLocalRoots(pass.Pkg.Info, decl)}
+			lc.walkBody(decl.Body, make(heldSet))
+		}
+	}
+}
+
+// funcLocalRoots collects objects declared in the function body
+// itself (not parameters or the receiver): accesses rooted at these
+// are constructor-style and exempt.
+func funcLocalRoots(info *types.Info, decl *ast.FuncDecl) map[types.Object]bool {
+	locals := make(map[types.Object]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					locals[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// lockKey names one lock instance: the variable whose field it is,
+// plus the lock field's name. (&Server).mu on receiver s is
+// {s, "mu"}.
+type lockKey struct {
+	root types.Object
+	name string
+}
+
+const (
+	heldRead  = 1 << iota // RLock
+	heldWrite             // Lock
+)
+
+type heldSet map[lockKey]int
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only locks held in both states, at the weaker mode.
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			m := va & vb
+			if m == 0 {
+				// One side holds read, the other write: both at
+				// least exclude "unlocked", keep the read bit.
+				m = heldRead
+			}
+			out[k] = m
+		}
+	}
+	return out
+}
+
+type lockChecker struct {
+	pass   *Pass
+	guards map[types.Object]guardInfo
+	locals map[types.Object]bool
+	// deferred funclits found while walking; analyzed afterwards as
+	// separate scopes.
+	funcLits []*ast.FuncLit
+}
+
+// walkBody walks a statement list, threading the held-lock state, and
+// then analyzes any function literals it encountered as fresh scopes.
+func (lc *lockChecker) walkBody(body *ast.BlockStmt, held heldSet) {
+	lc.walkStmt(body, held)
+	for len(lc.funcLits) > 0 {
+		lits := lc.funcLits
+		lc.funcLits = nil
+		for _, lit := range lits {
+			lc.walkStmt(lit.Body, make(heldSet))
+		}
+	}
+}
+
+// walkStmt interprets one statement, mutating held in place, and
+// reports whether the statement terminates the enclosing block.
+func (lc *lockChecker) walkStmt(stmt ast.Stmt, held heldSet) (terminates bool) {
+	switch s := stmt.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		term := false
+		for _, st := range s.List {
+			if lc.walkStmt(st, held) {
+				term = true
+			}
+		}
+		return term
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op, ok := lc.lockOp(call); ok {
+				lc.applyLockOp(held, key, op)
+				return false
+			}
+			if isTerminatingCall(lc.pass.Pkg.Info, call) {
+				lc.checkExpr(s.X, held, nil)
+				return true
+			}
+		}
+		lc.checkExpr(s.X, held, nil)
+		return false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			lc.checkExpr(rhs, held, nil)
+		}
+		for _, lhs := range s.Lhs {
+			lc.checkWrite(lhs, held)
+		}
+		return false
+	case *ast.IncDecStmt:
+		lc.checkWrite(s.X, held)
+		return false
+	case *ast.DeclStmt:
+		lc.checkExpr(s.Decl, held, nil)
+		return false
+	case *ast.SendStmt:
+		lc.checkExpr(s.Chan, held, nil)
+		lc.checkExpr(s.Value, held, nil)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lc.checkExpr(r, held, nil)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.DeferStmt:
+		if key, op, ok := lc.lockOp(s.Call); ok {
+			// defer mu.Unlock() pins the lock to scope end: treat as
+			// a no-op on the tracked state (it stays held). A
+			// deferred Lock would be nonsense; ignore it too.
+			_ = key
+			_ = op
+			return false
+		}
+		lc.checkExpr(s.Call, held, nil)
+		return false
+	case *ast.GoStmt:
+		lc.checkExpr(s.Call, held, nil)
+		return false
+	case *ast.IfStmt:
+		lc.walkStmt(s.Init, held)
+		lc.checkExpr(s.Cond, held, nil)
+		thenHeld := held.clone()
+		thenTerm := lc.walkStmt(s.Body, thenHeld)
+		if s.Else == nil {
+			if !thenTerm {
+				merge(held, intersect(held, thenHeld))
+			}
+			return false
+		}
+		elseHeld := held.clone()
+		elseTerm := lc.walkStmt(s.Else, elseHeld)
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			merge(held, elseHeld)
+		case elseTerm:
+			merge(held, thenHeld)
+		default:
+			merge(held, intersect(thenHeld, elseHeld))
+		}
+		return false
+	case *ast.ForStmt:
+		lc.walkStmt(s.Init, held)
+		lc.checkExpr(s.Cond, held, nil)
+		bodyHeld := held.clone()
+		lc.walkStmt(s.Body, bodyHeld)
+		lc.walkStmt(s.Post, bodyHeld)
+		merge(held, intersect(held, bodyHeld))
+		return false
+	case *ast.RangeStmt:
+		lc.checkExpr(s.X, held, nil)
+		bodyHeld := held.clone()
+		lc.walkStmt(s.Body, bodyHeld)
+		merge(held, intersect(held, bodyHeld))
+		return false
+	case *ast.SwitchStmt:
+		lc.walkStmt(s.Init, held)
+		lc.checkExpr(s.Tag, held, nil)
+		lc.walkClauses(s.Body, held)
+		return false
+	case *ast.TypeSwitchStmt:
+		lc.walkStmt(s.Init, held)
+		lc.walkStmt(s.Assign, held)
+		lc.walkClauses(s.Body, held)
+		return false
+	case *ast.SelectStmt:
+		lc.walkClauses(s.Body, held)
+		return false
+	case *ast.LabeledStmt:
+		return lc.walkStmt(s.Stmt, held)
+	default:
+		if stmt != nil {
+			lc.checkExpr(stmt, held, nil)
+		}
+		return false
+	}
+}
+
+// walkClauses interprets switch/select clause bodies as alternative
+// branches: the state after the statement is the intersection of the
+// entry state and every non-terminating clause's exit state.
+func (lc *lockChecker) walkClauses(body *ast.BlockStmt, held heldSet) {
+	result := held.clone()
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		clauseHeld := held.clone()
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				lc.checkExpr(e, held, nil)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				lc.walkStmt(c.Comm, clauseHeld)
+			}
+			stmts = c.Body
+		}
+		term := false
+		for _, st := range stmts {
+			if lc.walkStmt(st, clauseHeld) {
+				term = true
+			}
+		}
+		if !term {
+			result = intersect(result, clauseHeld)
+		}
+	}
+	replace(held, result)
+}
+
+func merge(dst, src heldSet) { replace(dst, src) }
+
+func replace(dst, src heldSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// lockOp recognizes x.mu.Lock()/RLock()/Unlock()/RUnlock() calls on a
+// mutex-typed field and returns the lock's identity and operation.
+func (lc *lockChecker) lockOp(call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	lockSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	s, ok := lc.pass.Pkg.Info.Selections[lockSel]
+	if !ok || s.Kind() != types.FieldVal || !isMutexType(s.Obj().Type()) {
+		return lockKey{}, "", false
+	}
+	root := rootIdent(lockSel.X)
+	if root == nil {
+		return lockKey{}, "", false
+	}
+	obj := lc.pass.Pkg.Info.Uses[root]
+	if obj == nil {
+		obj = lc.pass.Pkg.Info.Defs[root]
+	}
+	if obj == nil {
+		return lockKey{}, "", false
+	}
+	return lockKey{root: obj, name: lockSel.Sel.Name}, op, true
+}
+
+func (lc *lockChecker) applyLockOp(held heldSet, key lockKey, op string) {
+	switch op {
+	case "Lock":
+		held[key] = heldWrite
+	case "RLock":
+		held[key] = heldRead
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+}
+
+// checkWrite validates the write target, then its subexpressions
+// (index expressions etc.) as reads.
+func (lc *lockChecker) checkWrite(lhs ast.Expr, held heldSet) {
+	if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+		lc.checkAccess(sel, held, true)
+		lc.checkExpr(sel.X, held, nil)
+		return
+	}
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		// m[k] = v writes through the map/slice header: the header
+		// field itself is read-accessed, the element written — the
+		// guarded field is the header, so require the write lock.
+		if sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr); ok {
+			lc.checkAccess(sel, held, true)
+			lc.checkExpr(sel.X, held, nil)
+			lc.checkExpr(idx.Index, held, nil)
+			return
+		}
+	}
+	lc.checkExpr(lhs, held, nil)
+}
+
+// checkExpr walks an expression (or declaration) reporting guarded
+// reads; function literals are queued for separate-scope analysis.
+func (lc *lockChecker) checkExpr(n ast.Node, held heldSet, skip map[ast.Node]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if skip != nil && skip[m] {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			lc.funcLits = append(lc.funcLits, x)
+			return false
+		case *ast.SelectorExpr:
+			lc.checkAccess(x, held, false)
+		}
+		return true
+	})
+}
+
+// checkAccess reports sel if it names a guarded field accessed
+// without its lock (or written under only the read lock).
+func (lc *lockChecker) checkAccess(sel *ast.SelectorExpr, held heldSet, isWrite bool) {
+	info := lc.pass.Pkg.Info
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	guard, ok := lc.guards[s.Obj()]
+	if !ok {
+		return
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	if obj == nil || lc.locals[obj] {
+		return // constructor idiom: value not shared yet
+	}
+	mode := held[lockKey{root: obj, name: guard.lockName}]
+	field := s.Obj().Name()
+	switch {
+	case mode == 0:
+		verb := "read"
+		if isWrite {
+			verb = "write to"
+		}
+		lc.pass.Reportf(sel.Sel.Pos(), "%s of %s.%s without holding %s.%s (guardedby annotation)",
+			verb, root.Name, field, root.Name, guard.lockName)
+	case isWrite && mode&heldWrite == 0:
+		lc.pass.Reportf(sel.Sel.Pos(), "write to %s.%s under %s.%s.RLock — writes need the exclusive Lock",
+			root.Name, field, root.Name, guard.lockName)
+	}
+}
+
+// isTerminatingCall recognizes calls that never return: panic and
+// os.Exit (log.Fatal* also exits, but does not appear in the checked
+// packages).
+func isTerminatingCall(info *types.Info, call *ast.CallExpr) bool {
+	pkg, name := calleeName(info, call)
+	if pkg == "" && name == "panic" {
+		return true
+	}
+	if pkg == "os" && name == "Exit" {
+		return true
+	}
+	if pkg == "log" && strings.HasPrefix(name, "Fatal") {
+		return true
+	}
+	return false
+}

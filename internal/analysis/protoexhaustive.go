@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ProtoExhaustive cross-checks the VP1 protocol constant sets against
+// every layer that must know them. Adding an op (or status) to
+// proto.go is a three-sided contract, and PRs that wired ops 0x06 and
+// 0x07 by hand showed how easy it is to miss a side. For each
+// exported Op* constant in internal/serve:
+//
+//  1. (*Server).dispatch must have a case for it — otherwise the
+//     server answers StatusBadRequest to an op the client encodes.
+//  2. Some (*Client) method must reference it — otherwise nothing can
+//     issue it and the constant is dead wire surface.
+//  3. RequestSession (the router's session classifier) must map it,
+//     or a package outside internal/serve (the cluster router) must
+//     reference it explicitly — otherwise the proxy cannot route it.
+//
+// And every Status-typed constant must appear in Status.String, so
+// logs never print a bare number. Checks 1/2/3/4 each anchor on their
+// function (dispatch, Client methods, RequestSession, String) and are
+// skipped when the anchor is absent, so partial fixtures stay
+// checkable. Findings are reported at the constant's declaration —
+// the place the new op was added.
+var ProtoExhaustive = &Analyzer{
+	ID:  "proto-exhaustive",
+	Doc: "VP1 op/status constants must be wired through dispatch, client, session routing, and String",
+	Run: runProtoExhaustive,
+}
+
+func runProtoExhaustive(pass *Pass) {
+	if !strings.HasSuffix(pass.Pkg.Path, "/internal/serve") {
+		return
+	}
+	info := pass.Pkg.Info
+
+	ops := constGroup(pass.Pkg, func(obj types.Object) bool {
+		_, isConst := obj.(*types.Const)
+		return isConst && strings.HasPrefix(obj.Name(), "Op")
+	})
+	statuses := constGroup(pass.Pkg, func(obj types.Object) bool {
+		c, isConst := obj.(*types.Const)
+		if !isConst {
+			return false
+		}
+		named, ok := c.Type().(*types.Named)
+		return ok && named.Obj().Name() == "Status" && named.Obj().Pkg() == pass.Pkg.Types
+	})
+	if len(ops) == 0 && len(statuses) == 0 {
+		return
+	}
+
+	if body := methodBody(pass.Pkg, "Server", "dispatch"); body != nil {
+		referenced := refsIn(info, body)
+		for obj, pos := range ops {
+			if !referenced[obj] {
+				pass.Reportf(pos, "op %s has no case in (*Server).dispatch — the server would answer it StatusBadRequest", obj.Name())
+			}
+		}
+	}
+
+	if clientBodies := methodBodies(pass.Pkg, "Client"); len(clientBodies) > 0 {
+		referenced := make(map[types.Object]bool)
+		for _, body := range clientBodies {
+			for obj := range refsIn(info, body) {
+				referenced[obj] = true
+			}
+		}
+		for obj, pos := range ops {
+			if !referenced[obj] {
+				pass.Reportf(pos, "op %s is not referenced by any (*Client) method — nothing encodes or decodes it", obj.Name())
+			}
+		}
+	}
+
+	if body := funcBody(pass.Pkg, "RequestSession"); body != nil {
+		referenced := refsIn(info, body)
+		external := externalRefs(pass, ops)
+		for obj, pos := range ops {
+			if !referenced[obj] && !external[obj] {
+				pass.Reportf(pos, "op %s is not classified by RequestSession and no forwarding package references it — the router cannot route it", obj.Name())
+			}
+		}
+	}
+
+	if body := methodBody(pass.Pkg, "Status", "String"); body != nil {
+		referenced := refsIn(info, body)
+		for obj, pos := range statuses {
+			if !referenced[obj] {
+				pass.Reportf(pos, "status %s is missing from Status.String — it would log as a bare number", obj.Name())
+			}
+		}
+	}
+}
+
+// constGroup collects the package-level constants matching keep,
+// mapped to their declaration positions.
+func constGroup(pkg *Package, keep func(types.Object) bool) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil && keep(obj) {
+						out[obj] = name.Pos()
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refsIn collects every object referenced by identifiers inside node.
+func refsIn(info *types.Info, node ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// externalRefs reports which of the given constants are referenced by
+// any other package in the run — e.g. the cluster router comparing an
+// op it forwards specially.
+func externalRefs(pass *Pass, consts map[types.Object]token.Pos) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, other := range pass.All {
+		if other == pass.Pkg {
+			continue
+		}
+		for _, obj := range other.Info.Uses {
+			if _, ok := consts[obj]; ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// methodBody finds the body of recvType's method, or nil.
+func methodBody(pkg *Package, recvType, method string) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	methodsNamed(pkg, map[string]bool{method: true}, func(decl *ast.FuncDecl, rt string) {
+		if rt == recvType {
+			body = decl.Body
+		}
+	})
+	return body
+}
+
+// methodBodies collects every method body declared on recvType.
+func methodBodies(pkg *Package, recvType string) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Recv == nil || decl.Body == nil {
+				continue
+			}
+			if recvTypeName(decl) == recvType {
+				bodies = append(bodies, decl.Body)
+			}
+		}
+	}
+	return bodies
+}
+
+// funcBody finds the body of a package-level function, or nil.
+func funcBody(pkg *Package, name string) *ast.BlockStmt {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if ok && decl.Recv == nil && decl.Name.Name == name && decl.Body != nil {
+				return decl.Body
+			}
+		}
+	}
+	return nil
+}

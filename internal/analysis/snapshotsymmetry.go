@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapshotSymmetry cross-checks every AppendState/RestoreState method
+// pair (the core.Snapshotter contract): the two methods must cover the
+// same receiver field set, in the same layout order, or a predictor
+// field added to one side silently vanishes on the other — a restored
+// session would diverge from the live one it was snapshot from, and
+// nothing dynamic notices until the states happen to differ.
+//
+// Per receiver type declaring both methods:
+//
+//   - Every receiver field AppendState touches must also be touched by
+//     RestoreState. (A restore that only reads len(p.f) in a size
+//     check still counts as touching f — the field's length pins the
+//     layout even when its elements are filled through an alias, as
+//     range-variable writes are.)
+//   - Every receiver field RestoreState writes — assignment targets,
+//     and fields a call could mutate through (reference-typed fields,
+//     p.f[:] slices, &p.f: restoreNested restores through its
+//     predictor argument, copy and clear through their first) — must
+//     be touched by AppendState. Pure validation reads of config
+//     fields (limits, masks, table geometry) are exempt, as are
+//     scalars formatted into error messages.
+//   - The order of first access of the shared fields must match
+//     between the two bodies: state is a flat byte stream, so the
+//     field sequence IS the layout. Size-check reads almost always
+//     mirror the layout; a restore that genuinely consumes fields out
+//     of append order is decoding the wrong bytes into each table.
+//
+// A type declaring only one of the two methods is itself a finding:
+// half a Snapshotter is state that can be captured but never resumed
+// (or vice versa).
+//
+// The rule anchors on the method names, not on a package list: any
+// package that adopts the AppendState/RestoreState convention gets the
+// checking.
+var SnapshotSymmetry = &Analyzer{
+	ID:  "snapshot-symmetry",
+	Doc: "AppendState and RestoreState must touch the same receiver fields in the same layout order",
+	Run: runSnapshotSymmetry,
+}
+
+func runSnapshotSymmetry(pass *Pass) {
+	type pair struct {
+		app, rst *ast.FuncDecl
+	}
+	byType := make(map[string]*pair)
+	methodsNamed(pass.Pkg, map[string]bool{"AppendState": true, "RestoreState": true}, func(decl *ast.FuncDecl, rt string) {
+		if rt == "" {
+			return
+		}
+		p := byType[rt]
+		if p == nil {
+			p = &pair{}
+			byType[rt] = p
+		}
+		if decl.Name.Name == "AppendState" {
+			p.app = decl
+		} else {
+			p.rst = decl
+		}
+	})
+
+	names := make([]string, 0, len(byType))
+	for rt := range byType {
+		names = append(names, rt)
+	}
+	sort.Strings(names)
+	for _, rt := range names {
+		p := byType[rt]
+		switch {
+		case p.rst == nil:
+			pass.Reportf(p.app.Name.Pos(), "%s has AppendState but no RestoreState — its snapshots can never be resumed", rt)
+		case p.app == nil:
+			pass.Reportf(p.rst.Name.Pos(), "%s has RestoreState but no AppendState — nothing produces the state it decodes", rt)
+		default:
+			checkSnapshotPair(pass, rt, p.app, p.rst)
+		}
+	}
+}
+
+func checkSnapshotPair(pass *Pass, rt string, app, rst *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	appendSeq := fieldAccessSeq(info, app)
+	restoreSeq := fieldAccessSeq(info, rst)
+	restoreWrites := fieldWriteSet(info, rst)
+
+	restoreTouched := make(map[*types.Var]bool, len(restoreSeq))
+	for _, f := range restoreSeq {
+		restoreTouched[f] = true
+	}
+	appended := make(map[*types.Var]bool, len(appendSeq))
+	for _, f := range appendSeq {
+		appended[f] = true
+	}
+
+	for _, f := range appendSeq {
+		if !restoreTouched[f] {
+			pass.Reportf(rst.Name.Pos(), "%s.AppendState serializes field %s but RestoreState never touches it — a restored %s silently loses it", rt, f.Name(), rt)
+		}
+	}
+	for f := range restoreWrites {
+		if !appended[f] {
+			pass.Reportf(rst.Name.Pos(), "%s.RestoreState writes field %s but AppendState never serializes it — the restore decodes bytes no snapshot carries", rt, f.Name())
+		}
+	}
+
+	// Layout order: the shared fields' first-access sequences must
+	// agree.
+	var appOrder, rstOrder []*types.Var
+	for _, f := range appendSeq {
+		if restoreTouched[f] {
+			appOrder = append(appOrder, f)
+		}
+	}
+	for _, f := range restoreSeq {
+		if appended[f] {
+			rstOrder = append(rstOrder, f)
+		}
+	}
+	if len(appOrder) == len(rstOrder) {
+		for i := range appOrder {
+			if appOrder[i] != rstOrder[i] {
+				pass.Reportf(rst.Name.Pos(), "%s.RestoreState touches fields in order (%s) but AppendState lays them out as (%s) — the restore decodes the stream out of order", rt, fieldNames(rstOrder), fieldNames(appOrder))
+				break
+			}
+		}
+	}
+}
+
+func fieldNames(fs []*types.Var) string {
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name()
+	}
+	return strings.Join(names, ", ")
+}
+
+// fieldAccessSeq returns the receiver fields the method body accesses
+// directly (p.f for receiver p), ordered by first occurrence in source
+// order.
+func fieldAccessSeq(info *types.Info, decl *ast.FuncDecl) []*types.Var {
+	recv := recvObject(info, decl)
+	if recv == nil || decl.Body == nil {
+		return nil
+	}
+	var seq []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		f := recvField(info, recv, n)
+		if f != nil && !seen[f] {
+			seen[f] = true
+			seq = append(seq, f)
+		}
+		return true
+	})
+	return seq
+}
+
+// recvField resolves n to the receiver field it selects (recv.f), or
+// nil.
+func recvField(info *types.Info, recv types.Object, n ast.Node) *types.Var {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || info.Uses[id] != recv {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f
+}
+
+// fieldWriteSet collects the receiver fields the body plausibly
+// mutates: assignment/inc-dec targets rooted at the receiver, and
+// fields a call could mutate through — a reference-typed field passed
+// as an argument (restoreNested restores through its predictor
+// argument, copy and clear through their first), a p.f[:] slice of an
+// array field, or an explicit &p.f. Value-typed scalars passed to
+// calls (sizes formatted into error messages) are reads, not writes.
+func fieldWriteSet(info *types.Info, decl *ast.FuncDecl) map[*types.Var]bool {
+	recv := recvObject(info, decl)
+	out := make(map[*types.Var]bool)
+	if recv == nil || decl.Body == nil {
+		return out
+	}
+	// rootedField finds the receiver field an expression chain like
+	// p.f[i].x bottoms out in, noting whether the path crossed an
+	// aliasing step (slice of an array, address-of) that would let a
+	// callee mutate a value-typed field.
+	rootedField := func(e ast.Expr) (f *types.Var, aliased bool) {
+		for {
+			if f := recvField(info, recv, e); f != nil {
+				return f, aliased
+			}
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e, aliased = x.X, true
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.UnaryExpr:
+				e = x.X
+				if x.Op == token.AND {
+					aliased = true
+				}
+			default:
+				return nil, false
+			}
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if f, _ := rootedField(lhs); f != nil {
+					out[f] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if f, _ := rootedField(x.X); f != nil {
+				out[f] = true
+			}
+		case *ast.CallExpr:
+			if _, name := calleeName(info, x); name == "len" || name == "cap" {
+				return true
+			}
+			for _, arg := range x.Args {
+				f, aliased := rootedField(arg)
+				if f != nil && (aliased || isRefType(f.Type())) {
+					out[f] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isRefType reports whether a value of type t passed to a call lets
+// the callee mutate state reachable from the caller's copy.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}

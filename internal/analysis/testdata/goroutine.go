@@ -1,0 +1,63 @@
+// Seeded-violation fixture for the goroutine-lifecycle analyzer.
+// Loaded with import path "repro/internal/serve" (in scope); the scope
+// test reloads it elsewhere and expects silence.
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	jobs chan int
+}
+
+// run drains the mailbox until quit closes — joinable through the
+// channels it observes.
+func (p *pool) run() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case job := <-p.jobs:
+			_ = job
+		}
+	}
+}
+
+func (p *pool) start() {
+	// Joinable: WaitGroup Done in the body.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+
+	// Joinable: same-package method body observes quit/jobs.
+	go p.run()
+
+	// Joinable: closes a done channel the caller can receive on.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+
+	// Fire-and-forget: nothing to join on.
+	go work() // want goroutine-lifecycle
+
+	go func() { // want goroutine-lifecycle
+		work()
+	}()
+
+	// Out-of-package body: unprovable, must be wrapped.
+	go fmt.Println("stats up") // want goroutine-lifecycle
+
+	//lint:ignore goroutine-lifecycle fixture: process-lifetime by design
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,85 @@
+// Seeded-violation fixture for the lock-discipline analyzer. The rule
+// anchors on the guardedby annotations, not the import path, so the
+// same file reports identically wherever it is loaded.
+package serve
+
+import "sync"
+
+type counter struct {
+	mu  sync.RWMutex
+	n   int            // vplint:guardedby mu
+	m   map[string]int // vplint:guardedby mu
+	bad int            // vplint:guardedby missing — not a mutex sibling: // want lock-discipline
+}
+
+// goodRead holds the read lock for the read.
+func (c *counter) goodRead() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// goodWrite holds the exclusive lock for the write.
+func (c *counter) goodWrite() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// earlyReturn releases on the bail-out path; the fallthrough keeps the
+// lock, so the write is fine.
+func (c *counter) earlyReturn(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// badRead touches the guarded field with no lock at all.
+func (c *counter) badRead() int {
+	return c.n // want lock-discipline
+}
+
+// badWrite writes it with no lock at all.
+func (c *counter) badWrite() {
+	c.n = 1 // want lock-discipline
+}
+
+// rlockWrite writes under only the read lock.
+func (c *counter) rlockWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want lock-discipline
+}
+
+// mapWriteUnderRLock writes through the guarded map header under the
+// read lock.
+func (c *counter) mapWriteUnderRLock(k string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.m[k] = 1 // want lock-discipline
+}
+
+// closureLeak captures the guarded field in a function literal — a
+// fresh scope where the enclosing critical section does not count.
+func (c *counter) closureLeak() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int { return c.n } // want lock-discipline
+}
+
+// newCounter builds the value locally: not yet shared, exempt.
+func newCounter() *counter {
+	c := &counter{m: make(map[string]int)}
+	c.n = 1
+	return c
+}
+
+// suppressed proves the escape hatch works.
+func (c *counter) suppressed() int {
+	//lint:ignore lock-discipline fixture: read is benign by construction
+	return c.n
+}

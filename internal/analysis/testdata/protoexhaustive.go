@@ -1,0 +1,58 @@
+// Seeded-violation fixture for the proto-exhaustive analyzer. Loaded
+// with import path "repro/internal/serve" — the package that owns the
+// VP1 constants. Each seeded constant is missing from exactly one
+// layer; findings land on the constant's declaration.
+package serve
+
+// Status is the fixture's response status type.
+type Status uint8
+
+const (
+	StatusOK  Status = 0
+	StatusErr Status = 1 // want proto-exhaustive
+)
+
+const (
+	OpPing  = 0x01
+	OpLoad  = 0x02 // want proto-exhaustive
+	OpDrop  = 0x03 // want proto-exhaustive
+	OpStats = 0x04 // want proto-exhaustive
+	//lint:ignore proto-exhaustive fixture: retired wire op, deliberately unwired
+	OpLegacy = 0x05
+)
+
+// Server dispatches ops; OpLoad has no case.
+type Server struct{}
+
+func (s *Server) dispatch(op byte) Status {
+	switch op {
+	case OpPing, OpDrop, OpStats:
+		return StatusOK
+	}
+	return StatusErr
+}
+
+// Client encodes ops; nothing issues OpDrop.
+type Client struct{}
+
+func (c *Client) Ping() byte  { return OpPing }
+func (c *Client) Load() byte  { return OpLoad }
+func (c *Client) Stats() byte { return OpStats }
+
+// RequestSession classifies ops for routing; OpStats is unmapped and
+// no other package in the run references it.
+func RequestSession(op byte) bool {
+	switch op {
+	case OpPing, OpLoad, OpDrop:
+		return true
+	}
+	return false
+}
+
+// String covers StatusOK only; StatusErr would log as a bare number.
+func (s Status) String() string {
+	if s == StatusOK {
+		return "ok"
+	}
+	return "?"
+}

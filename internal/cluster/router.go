@@ -70,7 +70,7 @@ func (c Config) withDefaults() Config {
 // ones until the state has moved.
 type sessionLocks struct {
 	mu sync.Mutex
-	m  map[uint64]*sync.RWMutex
+	m  map[uint64]*sync.RWMutex // vplint:guardedby mu
 }
 
 func (l *sessionLocks) get(id uint64) *sync.RWMutex {
@@ -96,19 +96,19 @@ type Router struct {
 	pool  *Pool
 	locks sessionLocks
 
-	mu     sync.RWMutex      // guards ring, routes, pins
-	ring   *Ring             // current membership (copy-on-write)
-	routes map[uint64]string // session → backend that last served it
-	pins   map[uint64]string // session → backend overriding the ring
+	mu     sync.RWMutex
+	ring   *Ring             // vplint:guardedby mu — current membership (copy-on-write)
+	routes map[uint64]string // vplint:guardedby mu — session → backend that last served it
+	pins   map[uint64]string // vplint:guardedby mu — session → backend overriding the ring
 
 	migrations    atomic.Uint64
 	forwardErrors atomic.Uint64
 
 	lifeMu   sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
+	ln       net.Listener          // vplint:guardedby lifeMu
+	conns    map[net.Conn]struct{} // vplint:guardedby lifeMu
 	connWG   sync.WaitGroup
-	closed   bool
+	closed   bool // vplint:guardedby lifeMu
 	healthWG sync.WaitGroup
 	quit     chan struct{}
 }

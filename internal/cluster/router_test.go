@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -125,6 +126,9 @@ func predictThrough(tb testing.TB, c *serve.Client, session uint64, events trace
 // bit-identical to an unmigrated run against a single backend with
 // identical batching.
 func TestRouterMigrationZeroLoss(t *testing.T) {
+	// The cleanup closes backends and router; nothing they spawned —
+	// health checker, connection handlers, pool dials — may survive.
+	leakcheck.Check(t)
 	const session, batch = 7, 16
 	events := clusterEvents(0x4000, 4000)
 	half := len(events) / 2
@@ -199,6 +203,7 @@ func TestRouterMigrateErrors(t *testing.T) {
 // the offline ground truth throughout, proving the automatic
 // migrations lost nothing.
 func TestRouterMembershipChange(t *testing.T) {
+	leakcheck.Check(t)
 	const batch = 64
 	b1, b2 := startBackend(t), startBackend(t)
 	r, raddr := startRouter(t, Config{Backends: []string{b1}})
@@ -259,6 +264,7 @@ func TestRouterMembershipChange(t *testing.T) {
 // TestRouterHealthRouteAround: a dead backend is marked down after
 // HealthFails probes and new traffic routes around it.
 func TestRouterHealthRouteAround(t *testing.T) {
+	leakcheck.Check(t)
 	b1 := startBackend(t)
 
 	e, err := serve.NewEngine(serve.Config{Spec: clusterSpec, Shards: 1})

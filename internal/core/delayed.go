@@ -110,13 +110,14 @@ func (d *Delayed) RestoreState(data []byte) error {
 		return fmt.Errorf("%w: delayed queue claims %d updates, %d bytes remain", ErrState, n, len(data)-4)
 	}
 	rows := data[4:]
-	pending := make([]pendingUpdate, n)
-	for i := range pending {
-		pending[i] = pendingUpdate{
+	d.pending = make([]pendingUpdate, n)
+	for i := range d.pending {
+		d.pending[i] = pendingUpdate{
 			pc:    binary.BigEndian.Uint32(rows[8*i:]),
 			value: binary.BigEndian.Uint32(rows[8*i+4:]),
 		}
 	}
+	d.head = 0
 	rest, err := restoreNested(rows[8*n:], d.p)
 	if err != nil {
 		return err
@@ -124,8 +125,6 @@ func (d *Delayed) RestoreState(data []byte) error {
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after delayed state", ErrState, len(rest))
 	}
-	d.pending = pending
-	d.head = 0
 	return nil
 }
 

@@ -120,11 +120,15 @@ func (p *LastN) AppendState(b []byte) []byte {
 
 // RestoreState implements Snapshotter.
 func (p *LastN) RestoreState(data []byte) error {
+	if len(data) < 1 {
+		return stateSizeErr("last-n", 1, len(data))
+	}
+	p.clock = data[0]
 	want := 1 + lastNSlotBytes*p.n*len(p.table)
 	if len(data) != want {
 		return stateSizeErr("last-n", want, len(data))
 	}
-	clock, rows := data[0], data[1:]
+	rows := data[1:]
 	off := 0
 	for _, slots := range p.table {
 		for i := range slots {
@@ -141,7 +145,6 @@ func (p *LastN) RestoreState(data []byte) error {
 			off += lastNSlotBytes
 		}
 	}
-	p.clock = clock
 	return nil
 }
 

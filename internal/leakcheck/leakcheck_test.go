@@ -1,0 +1,69 @@
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records what the checker does instead of failing a real test.
+type fakeTB struct {
+	cleanups []func()
+	failures []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failures = append(f.failures, format)
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	ft := &fakeTB{}
+	Check(ft)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	ft.runCleanups()
+	if len(ft.failures) != 0 {
+		t.Fatalf("clean test reported a leak: %v", ft.failures)
+	}
+}
+
+func TestLeakIsReported(t *testing.T) {
+	old := patience
+	patience = 200 * time.Millisecond
+	defer func() { patience = old }()
+
+	ft := &fakeTB{}
+	Check(ft)
+	quit := make(chan struct{})
+	go func() { <-quit }() // still parked when cleanup runs
+	ft.runCleanups()
+	close(quit)
+	if len(ft.failures) != 1 || !strings.Contains(ft.failures[0], "leaked") {
+		t.Fatalf("leak not reported: %v", ft.failures)
+	}
+}
+
+func TestSettleWaitsForLateExits(t *testing.T) {
+	base := runtime.NumGoroutine()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine is alive when settle starts polling; settle must
+	// ride out its exit instead of reporting on the first sample.
+	if after, ok := settle(base, 2*time.Second); !ok {
+		t.Fatalf("settle did not wait out the exiting goroutine: %d > %d", after, base)
+	}
+	<-done
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
@@ -38,6 +39,7 @@ var ckptSpec = core.Spec{Kind: "dfcm", L1: 8, L2: 10}
 // restart never happened — and the engine stats must continue from the
 // pre-restart totals.
 func TestCheckpointDrainAndWarmStart(t *testing.T) {
+	leakcheck.Check(t) // shard + checkpoint-loop goroutines must drain
 	dir := t.TempDir()
 	events := ckptEvents(4000, 99)
 	const cut = 2500

@@ -154,8 +154,8 @@ type Engine struct {
 	ckptQuit         chan struct{} // nil unless the ticker loop runs
 	ckptWG           sync.WaitGroup
 
-	mu     sync.RWMutex // guards closed against in-flight submits
-	closed bool
+	mu     sync.RWMutex
+	closed bool // vplint:guardedby mu
 	quit   chan struct{}
 	wg     sync.WaitGroup
 }

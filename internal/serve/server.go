@@ -43,10 +43,10 @@ type Server struct {
 	cfg    ServerConfig
 
 	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	draining bool
-	closed   bool
+	ln       net.Listener          // vplint:guardedby mu
+	conns    map[net.Conn]struct{} // vplint:guardedby mu
+	draining bool                  // vplint:guardedby mu
+	closed   bool                  // vplint:guardedby mu
 	connWG   sync.WaitGroup
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/trace"
 )
 
@@ -71,6 +72,7 @@ func TestServerRunBatchMatchesOffline(t *testing.T) {
 // PredictBatch/UpdateBatch frames, each session's result matching its
 // offline run.
 func TestServerConcurrentConnections(t *testing.T) {
+	leakcheck.Check(t)
 	const conns = 10
 	_, addr := startServer(t, Config{Shards: 4, MailboxDepth: 512}, ServerConfig{})
 
@@ -261,6 +263,9 @@ func TestServerUnknownOp(t *testing.T) {
 }
 
 func TestServerGracefulShutdown(t *testing.T) {
+	// Static rule says every goroutine is joinable; this proves the
+	// drain path actually joins them all.
+	leakcheck.Check(t)
 	srv, addr := startServer(t, Config{Shards: 1}, ServerConfig{})
 	c, err := Dial(addr)
 	if err != nil {
