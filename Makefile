@@ -48,24 +48,55 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadAuto$$' -fuzztime=$(FUZZTIME) ./internal/trace
 
 # Experiment-suite benchmarks, snapshotted to BENCH_engine.json
-# (name → ns/op, allocs/op) with the Figure 9 speedup over the
-# pre-engine baseline recorded alongside. The full suite runs one
-# iteration per figure; the per-event predictor microbenchmarks and
-# the engine replay loop re-run at steady state ($(BENCH_COUNT)
-# counts, last measurement wins in the snapshot) since their 1x
-# numbers are pure noise. BENCH_FIG9_BASELINE_NS is the pre-engine
-# baseline's ns/op (full-suite -benchtime=1x, sequential replay path).
+# (name → ns/op, allocs/op) with speedups over stated baselines
+# recorded alongside. The full suite runs one iteration per figure;
+# the per-event predictor microbenchmarks, batch loops, engine replay
+# and serve dispatch paths re-run at steady state ($(BENCH_COUNT)
+# counts; benchjson keeps the minimum ns/op and maximum allocs/op
+# across repeats) since their 1x numbers are pure noise.
+#
+# Baselines: BENCH_FIG9_BASELINE_NS is the pre-engine sequential
+# replay path (full-suite -benchtime=1x); the BENCH_*_BASELINE_NS
+# per-predictor numbers and the engine replay baseline are the
+# pre-SoA/pre-batch hot path as last recorded in BENCH_engine.json
+# before the flat-layout rework, so the `speedup` section tracks the
+# rework's per-predictor win.
+#
+# The -zero gates are the CI alloc-regression tripwire: the build
+# fails if the steady-state engine replay or either serve dispatch
+# benchmark reports any allocs/op.
 BENCH_FIG9_BASELINE_NS ?= 18681932
+BENCH_REPLAY_BASELINE_NS ?= 2049359
+BENCH_DFCM_BASELINE_NS ?= 10.74
+BENCH_FCM_BASELINE_NS ?= 8.794
+BENCH_STRIDE_BASELINE_NS ?= 6.16
+BENCH_TWODELTA_BASELINE_NS ?= 5.778
+BENCH_LVP_BASELINE_NS ?= 4.836
+BENCH_DELAYED_BASELINE_NS ?= 16.21
+BENCH_PERFECT_BASELINE_NS ?= 17.69
 BENCH_COUNT ?= 3
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkPredict' -benchmem -count=$(BENCH_COUNT) . ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkRunBatch' -benchmem -count=$(BENCH_COUNT) . ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkSnapshot' -benchmem -count=$(BENCH_COUNT) . ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkEngineReplay$$' -benchmem ./internal/engine/ ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkServe' -benchmem -count=$(BENCH_COUNT) ./internal/serve/ ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkClusterBackends' -benchmem -count=$(BENCH_COUNT) ./internal/cluster/ ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_engine.json \
-	    -cmd "make bench (go test -bench . -benchtime 1x -benchmem; Predict*/Snapshot*/EngineReplay/ClusterBackends* at steady state)" \
-	    -speedup BenchmarkFig9=$(BENCH_FIG9_BASELINE_NS)
+	    -cmd "make bench (go test -bench . -benchtime 1x -benchmem; Predict*/RunBatch*/Snapshot*/EngineReplay/Serve*/ClusterBackends* at steady state)" \
+	    -speedup BenchmarkFig9=$(BENCH_FIG9_BASELINE_NS) \
+	    -speedup BenchmarkEngineReplay=$(BENCH_REPLAY_BASELINE_NS) \
+	    -speedup BenchmarkPredictDFCM=$(BENCH_DFCM_BASELINE_NS) \
+	    -speedup BenchmarkPredictFCM=$(BENCH_FCM_BASELINE_NS) \
+	    -speedup BenchmarkPredictStride=$(BENCH_STRIDE_BASELINE_NS) \
+	    -speedup BenchmarkPredictTwoDelta=$(BENCH_TWODELTA_BASELINE_NS) \
+	    -speedup BenchmarkPredictLastValue=$(BENCH_LVP_BASELINE_NS) \
+	    -speedup BenchmarkPredictDFCMDelayed=$(BENCH_DELAYED_BASELINE_NS) \
+	    -speedup BenchmarkPredictPerfectHybrid=$(BENCH_PERFECT_BASELINE_NS) \
+	    -zero BenchmarkEngineReplay \
+	    -zero BenchmarkServeDispatchRunBatch \
+	    -zero BenchmarkServeDispatchPredictBatch
 	@cat BENCH_engine.json
 
 # Per-op predictor baselines for the serving hot path.

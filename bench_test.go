@@ -121,6 +121,32 @@ func BenchmarkPredictPerfectHybrid(b *testing.B) {
 	}
 }
 
+// benchRunBatch measures the chunked hot path the engine and the
+// serving tier actually run: one core.RunBatch call per chunk,
+// dispatched once to the predictor's concrete-type loop. ns/op is per
+// event, directly comparable to the BenchmarkPredict* per-event
+// numbers above; the gap between the two is the per-event interface
+// dispatch the batch path eliminates.
+func benchRunBatch(b *testing.B, p core.Predictor) {
+	b.Helper()
+	body := workload.LoopBody(0x1000, 2, 6, 4, 2)
+	events := trace.Collect(workload.Interleave(body, 4096), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(events) {
+		n := len(events)
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		res := core.RunBatch(p, events[:n])
+		benchSink += res.Correct
+	}
+}
+
+func BenchmarkRunBatchDFCM(b *testing.B)   { benchRunBatch(b, core.NewDFCM(14, 12)) }
+func BenchmarkRunBatchFCM(b *testing.B)    { benchRunBatch(b, core.NewFCM(14, 12)) }
+func BenchmarkRunBatchStride(b *testing.B) { benchRunBatch(b, core.NewStride(14)) }
+
 // --- microbenchmarks: snapshot encode/decode ---
 //
 // The checkpoint cost model for internal/serve: Encode is what a

@@ -9,12 +9,18 @@
 //	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson \
 //	    -o BENCH_engine.json \
 //	    -cmd 'go test -bench . -benchtime 1x -benchmem .' \
-//	    -speedup BenchmarkFig9=18681932
+//	    -speedup BenchmarkFig9=18681932 \
+//	    -zero BenchmarkEngineReplay
 //
 // Each -speedup NAME=BASELINE_NS (repeatable) records the named
 // benchmark's baseline ns/op alongside the measured run and the
 // resulting speedup factor, so a perf claim lives next to the numbers
 // backing it.
+//
+// Each -zero NAME (repeatable) asserts the named benchmark is present
+// in the input and reported exactly 0 allocs/op; any violation is a
+// non-zero exit, making `make bench` a CI gate against allocation
+// regressions on the zero-alloc steady-state paths.
 package main
 
 import (
@@ -67,6 +73,16 @@ func (s speedupFlags) Set(v string) error {
 	return nil
 }
 
+// zeroFlags collects repeated -zero NAME flags.
+type zeroFlags []string
+
+func (z *zeroFlags) String() string { return strings.Join(*z, ",") }
+
+func (z *zeroFlags) Set(v string) error {
+	*z = append(*z, v)
+	return nil
+}
+
 // gomaxprocsSuffix is the -N the testing package appends to benchmark
 // names when GOMAXPROCS > 1; stripped so snapshots compare across
 // machines.
@@ -74,7 +90,10 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseBench extracts per-benchmark measurements from `go test -bench`
 // output. Non-benchmark lines (goos/pkg headers, PASS, ok) are
-// ignored.
+// ignored. A benchmark appearing more than once (-count=N) merges to
+// the minimum ns/op — the standard noise-robust statistic on a shared
+// machine — and the maximum allocs/op, so the -zero gate fails if any
+// run allocated.
 func parseBench(r io.Reader) (map[string]result, error) {
 	out := make(map[string]result)
 	sc := bufio.NewScanner(r)
@@ -100,20 +119,41 @@ func parseBench(r io.Reader) (map[string]result, error) {
 				res.AllocsPerOp = &a
 			}
 		}
-		if seen {
-			out[name] = res
+		if !seen {
+			continue
 		}
+		if prev, ok := out[name]; ok {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp != nil && (res.AllocsPerOp == nil || *prev.AllocsPerOp > *res.AllocsPerOp) {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[name] = res
 	}
 	return out, sc.Err()
 }
 
-func run(in io.Reader, out io.Writer, cmd string, baselines speedupFlags) error {
+func run(in io.Reader, out io.Writer, cmd string, baselines speedupFlags, zeros zeroFlags) error {
 	benches, err := parseBench(in)
 	if err != nil {
 		return err
 	}
 	if len(benches) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	for _, name := range zeros {
+		b, ok := benches[name]
+		if !ok {
+			return fmt.Errorf("-zero %s: benchmark not in input", name)
+		}
+		if b.AllocsPerOp == nil {
+			return fmt.Errorf("-zero %s: no allocs/op in input (run with -benchmem)", name)
+		}
+		if *b.AllocsPerOp != 0 {
+			return fmt.Errorf("-zero %s: %g allocs/op, want 0 — allocation regression on a zero-alloc steady-state path", name, *b.AllocsPerOp)
+		}
 	}
 	snap := snapshot{Command: cmd, Benchmarks: benches}
 	for name, base := range baselines {
@@ -140,6 +180,8 @@ func main() {
 	cmd := flag.String("cmd", "", "record the command that produced the input")
 	baselines := make(speedupFlags)
 	flag.Var(baselines, "speedup", "NAME=BASELINE_NS: record a speedup over a baseline (repeatable)")
+	var zeros zeroFlags
+	flag.Var(&zeros, "zero", "NAME: fail unless the benchmark is present with exactly 0 allocs/op (repeatable)")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
@@ -152,7 +194,7 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := run(os.Stdin, out, *cmd, baselines); err != nil {
+	if err := run(os.Stdin, out, *cmd, baselines, zeros); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

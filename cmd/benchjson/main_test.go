@@ -13,6 +13,10 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkFig9 	       1	   9367785 ns/op	 3377848 B/op	     341 allocs/op
 BenchmarkFig6-8 	       1	   4075381 ns/op	 1153936 B/op	     187 allocs/op
 BenchmarkPredictFCM 	       1	      1523 ns/op
+BenchmarkEngineReplay 	       5	   1104612 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRepeated 	     100	      2000 ns/op	      16 B/op	       2 allocs/op
+BenchmarkRepeated 	     100	      1500 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRepeated 	     100	      1800 ns/op	       8 B/op	       1 allocs/op
 BenchmarkSimulator 	       1	   2856997 ns/op	     59342 events/run	 2520800 B/op	      34 allocs/op
 PASS
 ok  	repro	3.019s
@@ -23,8 +27,15 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	if len(got) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6: %v", len(got), got)
+	}
+	rep := got["BenchmarkRepeated"]
+	if rep.NsPerOp != 1500 {
+		t.Errorf("repeated counts should merge to min ns/op, got %v", rep.NsPerOp)
+	}
+	if rep.AllocsPerOp == nil || *rep.AllocsPerOp != 2 {
+		t.Errorf("repeated counts should merge to max allocs/op, got %v", rep.AllocsPerOp)
 	}
 	fig9 := got["BenchmarkFig9"]
 	if fig9.NsPerOp != 9367785 {
@@ -47,7 +58,7 @@ func TestParseBench(t *testing.T) {
 func TestRunEmitsSpeedup(t *testing.T) {
 	var sb strings.Builder
 	err := run(strings.NewReader(sampleOutput), &sb, "go test -bench .",
-		speedupFlags{"BenchmarkFig9": 18735570})
+		speedupFlags{"BenchmarkFig9": 18735570}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +80,38 @@ func TestRunEmitsSpeedup(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(strings.NewReader("PASS\n"), &sb, "", nil); err == nil {
+	if err := run(strings.NewReader("PASS\n"), &sb, "", nil, nil); err == nil {
 		t.Error("empty input: want error")
 	}
 	if err := run(strings.NewReader(sampleOutput), &sb, "",
-		speedupFlags{"BenchmarkNope": 1}); err == nil {
+		speedupFlags{"BenchmarkNope": 1}, nil); err == nil {
 		t.Error("unknown speedup benchmark: want error")
+	}
+}
+
+// TestZeroGate: -zero passes only for a present benchmark measured at
+// exactly 0 allocs/op; absence, missing -benchmem columns, and any
+// nonzero count all fail the run.
+func TestZeroGate(t *testing.T) {
+	cases := []struct {
+		name string
+		zero string
+		ok   bool
+	}{
+		{"zero allocs passes", "BenchmarkEngineReplay", true},
+		{"nonzero allocs fails", "BenchmarkFig9", false},
+		{"missing benchmark fails", "BenchmarkNope", false},
+		{"no benchmem columns fails", "BenchmarkPredictFCM", false},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		err := run(strings.NewReader(sampleOutput), &sb, "", nil, zeroFlags{tc.zero})
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
 	}
 }
 

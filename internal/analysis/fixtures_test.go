@@ -80,6 +80,14 @@ func TestHotPathAllocEngineFixture(t *testing.T) {
 	runFixture(t, "hotpath_engine.go", "repro/internal/engine", HotPathAlloc)
 }
 
+func TestHotPathAllocServeFixture(t *testing.T) {
+	runFixture(t, "hotpath_serve.go", "repro/internal/serve", HotPathAlloc)
+}
+
+func TestHotPathAllocClusterFixture(t *testing.T) {
+	runFixture(t, "hotpath_cluster.go", "repro/internal/cluster", HotPathAlloc)
+}
+
 func TestProtoBoundsFixture(t *testing.T) {
 	runFixture(t, "protobounds.go", "repro/internal/serve", ProtoBounds)
 }
@@ -150,6 +158,8 @@ func TestAnalyzersScopeToTheirPackages(t *testing.T) {
 		{"determinism.go", Determinism},
 		{"hotpath.go", HotPathAlloc},
 		{"hotpath_engine.go", HotPathAlloc},
+		{"hotpath_serve.go", HotPathAlloc},
+		{"hotpath_cluster.go", HotPathAlloc},
 		{"protobounds.go", ProtoBounds},
 		{"protobounds_snapshot.go", ProtoBounds},
 		{"protobounds_cluster.go", ProtoBounds},

@@ -22,7 +22,15 @@ import (
 //   - internal/engine: every top-level function named replay* — the
 //     sweep engine's inner loops, which feed every predictor
 //     configuration from a single trace pass and must stay
-//     allocation-free to hit the engine's ~0 allocs/op budget.
+//     allocation-free to hit the engine's ~0 allocs/op budget;
+//   - internal/serve: the per-frame codec — every top-level append*
+//     and decode* function plus readFrameInto, growPayload,
+//     writeFrame and ReadRequestFrameBuf. These run once per request
+//     frame on buffers the connection reuses; the serve batch path's
+//     0 allocs/op budget dies the day one of them formats an error
+//     with fmt;
+//   - internal/cluster: the Router.forward method — the proxy's
+//     per-frame backend round trip, same budget.
 //
 // Cold paths — constructors, Name, SizeBits, Stats — may use fmt
 // freely; they are out of scope by construction.
@@ -35,6 +43,14 @@ var HotPathAlloc = &Analyzer{
 var coreHotMethods = map[string]bool{
 	"Predict": true, "PredictConfident": true, "Update": true,
 	"Score": true, "L2Index": true, "L2IndexAndUpdate": true,
+	"RunBatch": true,
+}
+
+// serveHotFuncs are internal/serve's fixed-name per-frame codec
+// functions; the append*/decode* families are matched by prefix.
+var serveHotFuncs = map[string]bool{
+	"readFrameInto": true, "growPayload": true,
+	"writeFrame": true, "ReadRequestFrameBuf": true,
 }
 
 func runHotPathAlloc(pass *Pass) {
@@ -56,6 +72,16 @@ func runHotPathAlloc(pass *Pass) {
 	case strings.HasSuffix(pass.Pkg.Path, "/internal/engine"):
 		topLevelFuncs(pass, func(name string) bool {
 			return strings.HasPrefix(name, "replay")
+		})
+	case strings.HasSuffix(pass.Pkg.Path, "/internal/serve"):
+		topLevelFuncs(pass, func(name string) bool {
+			return serveHotFuncs[name] ||
+				strings.HasPrefix(name, "append") ||
+				strings.HasPrefix(name, "decode")
+		})
+	case strings.HasSuffix(pass.Pkg.Path, "/internal/cluster"):
+		methodsNamed(pass.Pkg, map[string]bool{"forward": true}, func(decl *ast.FuncDecl, recvType string) {
+			checkHotBody(pass, decl.Name.Name, decl.Body)
 		})
 	}
 }

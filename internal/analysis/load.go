@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -210,6 +212,9 @@ func parseDir(fset *token.FileSet, dir, path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if fileExcludedByBuildTags(f) {
+			continue
+		}
 		pkg.Files = append(pkg.Files, f)
 	}
 	if len(pkg.Files) == 0 {
@@ -217,6 +222,52 @@ func parseDir(fset *token.FileSet, dir, path string) (*Package, error) {
 	}
 	pkg.indexSuppressions()
 	return pkg, nil
+}
+
+// fileExcludedByBuildTags reports whether a //go:build line above the
+// package clause excludes the file from the build the analyzers
+// model: the default `go build` on the host OS/arch, with no special
+// tags. Without this, a tag-disjoint pair of files (e.g. a constant
+// declared once under `//go:build race` and once under `!race`) looks
+// like a redeclaration to the type checker. Legacy // +build lines
+// are not consulted; the module uses the go:build form only.
+func fileExcludedByBuildTags(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(defaultBuildTag) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// defaultBuildTag says which tags the modeled build satisfies: host
+// OS and architecture, the gc toolchain, the unix umbrella where it
+// applies, and every go1.x language-version gate. Everything else —
+// race, integration tags, foreign platforms — is unset.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 func (p *Package) indexSuppressions() {

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"go/parser"
+	"go/token"
+	"runtime"
 	"testing"
 )
 
@@ -36,5 +39,41 @@ func TestLoadModuleAndMergedTreeClean(t *testing.T) {
 	}
 	for _, d := range Run(pkgs, All()) {
 		t.Errorf("merged tree finding: %s", d)
+	}
+}
+
+// TestBuildTagExclusion: the loader models the default build, so a
+// file constrained to a tag the default build does not set (race,
+// another OS) is skipped, while host-OS and go-version constraints
+// keep the file in. The redeclaration case is what matters in tree:
+// internal/leakcheck declares RaceEnabled once under race and once
+// under !race, which type-checks only if exactly one side loads.
+func TestBuildTagExclusion(t *testing.T) {
+	parse := func(src string) bool {
+		t.Helper()
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fileExcludedByBuildTags(f)
+	}
+	cases := []struct {
+		name, src string
+		excluded  bool
+	}{
+		{"no constraint", "package x\n", false},
+		{"race tag", "//go:build race\n\npackage x\n", true},
+		{"negated race", "//go:build !race\n\npackage x\n", false},
+		{"host os", "//go:build " + runtime.GOOS + "\n\npackage x\n", false},
+		{"foreign os", "//go:build plan9\n\npackage x\n", true},
+		{"go version", "//go:build go1.21\n\npackage x\n", false},
+		{"or with satisfied arm", "//go:build race || " + runtime.GOOS + "\n\npackage x\n", false},
+		{"build comment in doc", "// Package x does things.\n//go:build race\npackage x\n", true},
+	}
+	for _, tc := range cases {
+		if got := parse(tc.src); got != tc.excluded {
+			t.Errorf("%s: excluded = %v, want %v", tc.name, got, tc.excluded)
+		}
 	}
 }

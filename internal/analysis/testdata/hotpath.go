@@ -29,6 +29,17 @@ func (h *Hot) Score(pc, v uint32) bool {
 	return reflect.DeepEqual(pc, v) // want hot-path-alloc
 }
 
+// RunBatch is the concrete-type chunk loop — in scope like the
+// per-event methods it fuses.
+func (h *Hot) RunBatch(batch []uint32) int {
+	n := 0
+	for _, v := range batch {
+		fmt.Println(v) // want hot-path-alloc
+		n += int(h.t[v&7])
+	}
+	return n
+}
+
 // Name is a cold path: fmt is fine here.
 func (h *Hot) Name() string { return fmt.Sprintf("hot-%d", len(h.t)) }
 

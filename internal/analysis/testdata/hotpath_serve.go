@@ -1,0 +1,63 @@
+// Seeded-violation fixture for the hot-path-alloc analyzer (serve
+// scope). Loaded with import path "repro/internal/serve": the rule
+// lints the per-frame codec — top-level append*/decode* functions
+// plus readFrameInto, growPayload, writeFrame and ReadRequestFrameBuf
+// — and nothing else in the package.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errShort = errors.New("short payload")
+
+// appendValueResp is a frame encoder: in scope by the append* prefix.
+func appendValueResp(b []byte, values []uint32) []byte {
+	defer fmt.Println(len(values)) // want hot-path-alloc
+	for _, v := range values {
+		b = append(b, byte(v))
+	}
+	return b
+}
+
+// decodeValueReq is a frame decoder: in scope by the decode* prefix.
+func decodeValueReq(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("decode: %d bytes: %w", len(p), errShort) // want hot-path-alloc
+	}
+	return uint32(p[0]), nil
+}
+
+// readFrameInto is the buffer-reusing frame reader: in scope by name.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("read: %w", err) // want hot-path-alloc
+	}
+	return buf, nil
+}
+
+// writeFrame is in scope by name.
+func writeFrame(w io.Writer, payload []byte) error {
+	x := any(payload) // want hot-path-alloc
+	_ = x
+	_, err := w.Write(payload)
+	return err
+}
+
+// encodeValueResp is the cold allocating wrapper: out of scope, fmt
+// is fine here.
+func encodeValueResp(values []uint32) []byte {
+	b := appendValueResp(make([]byte, 0, len(values)), values)
+	fmt.Println(len(b))
+	return b
+}
+
+// decodeSuppressed demonstrates suppression on the codec path.
+func decodeSuppressed(p []byte) (uint32, error) {
+	//lint:ignore hot-path-alloc fixture: debug build only
+	s := fmt.Sprintf("%d", len(p))
+	_ = s
+	return 0, nil
+}

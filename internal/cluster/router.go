@@ -186,20 +186,30 @@ func (r *Router) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	// Per-connection scratch: the request payload and the forwarded
+	// response reuse these across frames, so a steady-state proxied
+	// frame allocates nothing. Both are owned by this goroutine; each
+	// is valid until the next frame (the response is written and
+	// flushed before the next read).
+	var frameBuf, respBuf []byte
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout)); err != nil {
 			return
 		}
-		op, payload, oversized, err := serve.ReadRequestFrame(br, r.cfg.MaxFrame)
+		op, payload, oversized, err := serve.ReadRequestFrameBuf(br, r.cfg.MaxFrame, frameBuf)
 		if err != nil {
 			return
 		}
+		if payload != nil {
+			frameBuf = payload
+		}
 		var resp []byte
 		if oversized {
-			resp = serve.StatusResponse(serve.StatusBadRequest)
+			resp = append(respBuf[:0], byte(serve.StatusBadRequest))
 		} else {
-			resp = r.dispatch(op, payload)
+			resp = r.dispatch(op, payload, respBuf[:0])
 		}
+		respBuf = resp
 		if err := conn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout)); err != nil {
 			return
 		}
@@ -212,15 +222,17 @@ func (r *Router) serveConn(conn net.Conn) {
 	}
 }
 
-// dispatch routes one request frame. Stats aggregates across
-// backends; everything else forwards to the session's owner.
-func (r *Router) dispatch(op byte, payload []byte) []byte {
+// dispatch routes one request frame, building the response in buf's
+// storage (the returned slice is rooted there; serveConn keeps it as
+// the next frame's scratch). Stats aggregates across backends;
+// everything else forwards to the session's owner.
+func (r *Router) dispatch(op byte, payload, buf []byte) []byte {
 	if op == serve.OpStats {
-		return r.aggregateStats()
+		return append(buf, r.aggregateStats()...)
 	}
 	session, ok := serve.RequestSession(op, payload)
 	if !ok {
-		return serve.StatusResponse(serve.StatusBadRequest)
+		return append(buf, byte(serve.StatusBadRequest))
 	}
 	lk := r.locks.get(session)
 	lk.RLock()
@@ -229,12 +241,12 @@ func (r *Router) dispatch(op byte, payload []byte) []byte {
 	if !ok {
 		// No live backend: shed like engine backpressure so clients
 		// retry rather than tear down.
-		return serve.StatusResponse(serve.StatusBusy)
+		return append(buf, byte(serve.StatusBusy))
 	}
-	resp, err := r.forward(addr, op, payload)
+	resp, err := r.forward(addr, op, payload, buf)
 	if err != nil {
 		r.forwardErrors.Add(1)
-		return serve.StatusResponse(serve.StatusBusy)
+		return append(buf, byte(serve.StatusBusy))
 	}
 	r.noteRoute(session, addr)
 	return resp
@@ -268,18 +280,22 @@ func (r *Router) noteRoute(session uint64, addr string) {
 	r.mu.Unlock()
 }
 
-// forward round-trips one frame to addr over a pooled connection. A
-// transport error is retried once on a fresh connection: the common
-// cause is a pooled socket staled by a backend restart, which fails
-// on the first write. (The retry is at-least-once: an error after the
-// backend processed the request but before its response arrived would
-// re-apply the batch. VP1 carries no request IDs to do better; the
-// window requires the backend to die mid-response.)
-func (r *Router) forward(addr string, op byte, payload []byte) ([]byte, error) {
+// forward round-trips one frame to addr over a pooled connection,
+// reading the response into buf's storage — the buffer must be
+// caller-owned because Pool.Do returns the client to the pool before
+// the caller is done with the response; a client-owned scratch would
+// be overwritten by the connection's next borrower. A transport error
+// is retried once on a fresh connection: the common cause is a pooled
+// socket staled by a backend restart, which fails on the first write.
+// (The retry is at-least-once: an error after the backend processed
+// the request but before its response arrived would re-apply the
+// batch. VP1 carries no request IDs to do better; the window requires
+// the backend to die mid-response.)
+func (r *Router) forward(addr string, op byte, payload, buf []byte) ([]byte, error) {
 	var resp []byte
 	do := func() error {
 		return r.pool.Do(addr, func(c *serve.Client) error {
-			p, err := c.RoundTrip(op, payload)
+			p, err := c.RoundTripAppend(op, payload, buf)
 			if err != nil {
 				return err
 			}

@@ -516,3 +516,72 @@ func benchmarkCluster(b *testing.B, nBackends int) {
 func BenchmarkClusterBackends1(b *testing.B) { benchmarkCluster(b, 1) }
 func BenchmarkClusterBackends2(b *testing.B) { benchmarkCluster(b, 2) }
 func BenchmarkClusterBackends4(b *testing.B) { benchmarkCluster(b, 4) }
+
+// TestRouterPooledClientBufferIsolation: the router reads forwarded
+// responses into per-connection caller-owned buffers
+// (serve.Client.RoundTripAppend) precisely because pooled backend
+// clients are returned to the pool while the response is still in
+// flight to the inbound connection. Several concurrent inbound
+// connections hammer sessions that all route to one backend — so the
+// pool constantly recycles clients between them — and each checks
+// every prediction against its own local replica. A response written
+// into a buffer another borrower then reuses corrupts the values;
+// -race catches the unsynchronized write.
+func TestRouterPooledClientBufferIsolation(t *testing.T) {
+	leakcheck.Check(t)
+	backend := startBackend(t)
+	_, raddr := startRouter(t, Config{Backends: []string{backend}})
+
+	const conns = 8
+	var wg sync.WaitGroup
+	for k := 0; k < conns; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c, err := serve.Dial(raddr)
+			if err != nil {
+				t.Errorf("conn %d: %v", k, err)
+				return
+			}
+			defer c.Close()
+			session := uint64(k + 1)
+			events := clusterEvents(uint32(0x1000*(k+1)), 3000)
+			p, err := clusterSpec.New()
+			if err != nil {
+				t.Errorf("conn %d: %v", k, err)
+				return
+			}
+			batch := 128 << (k % 3)
+			var pcs, got []uint32
+			for start := 0; start < len(events); start += batch {
+				end := min(start+batch, len(events))
+				chunk := events[start:end]
+				pcs = pcs[:0]
+				for _, ev := range chunk {
+					pcs = append(pcs, ev.PC)
+				}
+				values, st, err := c.PredictBatchAppend(session, pcs, got)
+				if err != nil || st != serve.StatusOK {
+					t.Errorf("conn %d PredictBatch: %v %v", k, st, err)
+					return
+				}
+				got = values
+				for i, ev := range chunk {
+					if want := p.Predict(ev.PC); got[i] != want {
+						t.Errorf("conn %d batch at %d: prediction %d is %#x, replica says %#x",
+							k, start, i, got[i], want)
+						return
+					}
+				}
+				if st, err := c.UpdateBatch(session, chunk); err != nil || st != serve.StatusOK {
+					t.Errorf("conn %d UpdateBatch: %v %v", k, st, err)
+					return
+				}
+				for _, ev := range chunk {
+					p.Update(ev.PC, ev.Value)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}

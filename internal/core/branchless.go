@@ -1,0 +1,32 @@
+package core
+
+// Branch-free helpers for the per-event hot paths. Saturating
+// confidence updates are the one data-dependent branch left in the
+// table predictors' inner loops; on value traces the hit/miss pattern
+// is near-random per event, so the branch predictor pays for it twice
+// (once per flush). The mask arithmetic below replaces the compares
+// with straight-line code. Bit-identity with the branchy originals is
+// pinned by property tests over the full counter range
+// (branchless_test.go).
+
+// hit01 reports a == b as an integer: 1 on equality, 0 otherwise.
+// (a^b)−1 in 64 bits underflows to all-ones exactly when a == b,
+// putting the answer in the top bit.
+func hit01(a, b uint32) int32 {
+	return int32((uint64(a^b) - 1) >> 63)
+}
+
+// satConf returns the post-outcome value of a saturating confidence
+// counter without branching. hit must be 0 or 1 (hit01). On a hit the
+// counter moves to min(c+inc, max); on a miss to max(c−dec, 0).
+// Counters are small non-negative values, so all intermediates fit
+// int32 and the sign-bit smears (x>>31) act as full-width selects.
+func satConf(c, hit, inc, dec, max int32) int32 {
+	up := c + inc
+	t := up - max
+	up = max + (t & (t >> 31)) // min(c+inc, max)
+	dn := c - dec
+	dn &^= dn >> 31 // max(c−dec, 0)
+	sel := -hit     // all-ones on hit, 0 on miss
+	return (up & sel) | (dn &^ sel)
+}

@@ -106,15 +106,12 @@ func (c *CounterConfidence) PredictConfident(pc uint32) (uint32, bool) {
 func (c *CounterConfidence) Predict(pc uint32) uint32 { return c.p.Predict(pc) }
 
 // Update trains the counter with the outcome, then the predictor.
+// Saturation is branch-free (satConf): a miss decrements by the full
+// ceiling, which floors at 0 — exactly the "reset" scheme.
 func (c *CounterConfidence) Update(pc, value uint32) {
 	i := pcIndex(pc, c.bits)
-	if c.p.Predict(pc) == value {
-		if c.counters[i] < c.max {
-			c.counters[i]++
-		}
-	} else {
-		c.counters[i] = 0
-	}
+	hit := hit01(c.p.Predict(pc), value)
+	c.counters[i] = uint8(satConf(int32(c.counters[i]), hit, 1, int32(c.max), int32(c.max)))
 	c.p.Update(pc, value)
 }
 
@@ -413,15 +410,11 @@ func (c *Combined) Predict(pc uint32) uint32 { return c.p.Predict(pc) }
 // Update trains both estimators' metadata and the shared predictor
 // once.
 func (c *Combined) Update(pc, value uint32) {
-	// Counter bookkeeping (reads the shared predictor pre-update).
+	// Counter bookkeeping (reads the shared predictor pre-update);
+	// same branch-free reset-on-miss saturation as CounterConfidence.
 	i := pcIndex(pc, c.ctr.bits)
-	if c.p.Predict(pc) == value {
-		if c.ctr.counters[i] < c.ctr.max {
-			c.ctr.counters[i]++
-		}
-	} else {
-		c.ctr.counters[i] = 0
-	}
+	hit := hit01(c.p.Predict(pc), value)
+	c.ctr.counters[i] = uint8(satConf(int32(c.ctr.counters[i]), hit, 1, int32(c.ctr.max), int32(c.ctr.max)))
 	// Tag bookkeeping updates the shared predictor itself.
 	c.tag.Update(pc, value)
 }

@@ -17,6 +17,7 @@ type FCM struct {
 	l2bits uint
 	h      hash.Func
 	fsr    *hash.FSR // non-nil when h is an FSR with >= 8 index bits: inlined Update32 fast path
+	l1mask uint32    // 2^l1bits − 1, applied to pc>>2
 	l1     []uint64  // hashed value history per static instruction
 	l2     []uint32  // predicted next value per context
 }
@@ -51,6 +52,7 @@ func NewFCMHash(l1bits, l2bits uint, h hash.Func) *FCM {
 		l2bits: l2bits,
 		h:      h,
 		fsr:    fsr,
+		l1mask: uint32(1<<l1bits) - 1,
 		l1:     make([]uint64, 1<<l1bits),
 		l2:     make([]uint32, 1<<l2bits),
 	}
@@ -59,7 +61,7 @@ func NewFCMHash(l1bits, l2bits uint, h hash.Func) *FCM {
 // Predict looks up the instruction's history in level-1 and returns
 // the level-2 value stored for that context.
 func (p *FCM) Predict(pc uint32) uint32 {
-	return p.l2[p.l1[pcIndex(pc, p.l1bits)]]
+	return p.l2[p.l1[(pc>>2)&p.l1mask]]
 }
 
 // Update writes the produced value into the level-2 entry the
@@ -67,7 +69,7 @@ func (p *FCM) Predict(pc uint32) uint32 {
 // The FSR case is dispatched on the concrete type so the per-event
 // hash update inlines instead of going through hash.Func.
 func (p *FCM) Update(pc, value uint32) {
-	i := pcIndex(pc, p.l1bits)
+	i := (pc >> 2) & p.l1mask
 	h := p.l1[i]
 	p.l2[h] = value
 	if p.fsr != nil {
@@ -84,7 +86,7 @@ func (p *FCM) Update(pc, value uint32) {
 // (metrics.StrideHists) uses it to halve the level-1 accesses per
 // event.
 func (p *FCM) L2IndexAndUpdate(pc, value uint32) uint64 {
-	i := pcIndex(pc, p.l1bits)
+	i := (pc >> 2) & p.l1mask
 	h := p.l1[i]
 	p.l2[h] = value
 	if p.fsr != nil {
@@ -96,7 +98,7 @@ func (p *FCM) L2IndexAndUpdate(pc, value uint32) uint64 {
 }
 
 // L2Index implements L2Indexer.
-func (p *FCM) L2Index(pc uint32) uint64 { return p.l1[pcIndex(pc, p.l1bits)] }
+func (p *FCM) L2Index(pc uint32) uint64 { return p.l1[(pc>>2)&p.l1mask] }
 
 // L2Entries implements L2Indexer.
 func (p *FCM) L2Entries() int { return len(p.l2) }
@@ -105,7 +107,7 @@ func (p *FCM) L2Entries() int { return len(p.l2) }
 func (p *FCM) L1Entries() int { return len(p.l1) }
 
 // L1Index implements HistoryFeeder.
-func (p *FCM) L1Index(pc uint32) uint32 { return pcIndex(pc, p.l1bits) }
+func (p *FCM) L1Index(pc uint32) uint32 { return (pc >> 2) & p.l1mask }
 
 // HistoryInput implements HistoryFeeder: the FCM's history consumes
 // the produced values themselves.

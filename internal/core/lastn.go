@@ -20,10 +20,14 @@ type lastNSlot struct {
 // alternating and small-period patterns the last-value predictor
 // misses, without a second table level.
 type LastN struct {
-	bits  uint
-	n     int
-	table [][]lastNSlot
-	clock uint8
+	bits uint
+	n    int
+	// table's rows all alias one contiguous backing slice, kept so
+	// Reset can clear every slot with a single word-level memclr
+	// instead of a per-row loop.
+	table   [][]lastNSlot
+	backing []lastNSlot
+	clock   uint8
 }
 
 const lastNConfMax = 3
@@ -38,9 +42,9 @@ func NewLastN(bits uint, n int) *LastN {
 	t := make([][]lastNSlot, 1<<bits)
 	backing := make([]lastNSlot, (1<<bits)*n)
 	for i := range t {
-		t[i], backing = backing[:n:n], backing[n:]
+		t[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
-	return &LastN{bits: bits, n: n, table: t}
+	return &LastN{bits: bits, n: n, table: t, backing: backing}
 }
 
 // best returns the index of the slot Predict would use.
@@ -93,11 +97,11 @@ func (p *LastN) Update(pc, value uint32) {
 	slots[vi] = lastNSlot{value: value, conf: 1, age: p.clock}
 }
 
-// Reset implements Resetter.
+// Reset implements Resetter: one contiguous clear of the shared
+// backing array (every table row aliases it) instead of a per-row
+// loop.
 func (p *LastN) Reset() {
-	for _, slots := range p.table {
-		clear(slots)
-	}
+	clear(p.backing)
 	p.clock = 0
 }
 

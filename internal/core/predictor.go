@@ -48,6 +48,19 @@ type Scorer interface {
 	Score(pc, value uint32) bool
 }
 
+// BatchRunner is implemented by predictors that can process a whole
+// in-memory chunk of events with a concrete-type loop. The top-level
+// RunBatch prefers it over the generic per-event loop: one interface
+// dispatch per chunk instead of two per event, with the table accesses
+// and hash updates fully inlined inside the method. Semantics are
+// exactly those of the generic loop (including Score for Scorers);
+// equivalence is pinned by TestRunBatchConcreteMatchesGeneric.
+type BatchRunner interface {
+	// RunBatch processes the events in order and returns the result of
+	// exactly that slice. State carries across calls, like Run.
+	RunBatch(batch []trace.Event) Result
+}
+
 // L2Indexer is implemented by two-level predictors (FCM, DFCM) and
 // exposes the level-2 table index a prediction at pc would use. The
 // table-usage experiments (paper Figures 6 and 9) build their
@@ -156,6 +169,9 @@ func Run(p Predictor, src trace.Source) Result {
 // one Run over the whole trace: predictor state carries across calls
 // and Result is a plain event count.
 func RunBatch(p Predictor, batch []trace.Event) Result {
+	if b, ok := p.(BatchRunner); ok {
+		return b.RunBatch(batch)
+	}
 	var res Result
 	res.Predictions = uint64(len(batch))
 	if s, ok := p.(Scorer); ok {

@@ -61,3 +61,89 @@ func TestRunBatchEmpty(t *testing.T) {
 		t.Errorf("empty batch produced %+v", r)
 	}
 }
+
+// runGenericBatch is RunBatch's generic per-event loop, bypassing the
+// BatchRunner dispatch — the reference the concrete-type loops must
+// match bit for bit.
+func runGenericBatch(p Predictor, batch []trace.Event) Result {
+	var res Result
+	res.Predictions = uint64(len(batch))
+	if s, ok := p.(Scorer); ok {
+		for _, e := range batch {
+			if s.Score(e.PC, e.Value) {
+				res.Correct++
+			}
+		}
+		return res
+	}
+	for _, e := range batch {
+		if p.Predict(e.PC) == e.Value {
+			res.Correct++
+		}
+		p.Update(e.PC, e.Value)
+	}
+	return res
+}
+
+// TestRunBatchConcreteMatchesGeneric: every concrete RunBatch
+// implementation produces, chunk by chunk, exactly the Result of the
+// generic loop on an identical twin — and leaves the predictor in the
+// same state, witnessed by the serialized snapshot where available
+// and by post-run prediction parity everywhere.
+func TestRunBatchConcreteMatchesGeneric(t *testing.T) {
+	tr := batchTrace(6000)
+	mks := map[string]func() Predictor{
+		"lvp":      func() Predictor { return NewLastValue(8) },
+		"stride":   func() Predictor { return NewStride(8) },
+		"twodelta": func() Predictor { return NewTwoDelta(8) },
+		"fcm":      func() Predictor { return NewFCM(8, 10) },
+		"dfcm":     func() Predictor { return NewDFCM(8, 10) },
+		"dfcm-w8":  func() Predictor { return NewDFCMWidth(8, 10, 8) },
+		// Narrow level-2 disables the FSR Update32 fast path, covering
+		// the interface-hash loop variant.
+		"dfcm-small-l2": func() Predictor { return NewDFCMWidth(8, 6, 32) },
+		"lastn":         func() Predictor { return NewLastN(8, 4) },
+		"delayed":       func() Predictor { return NewDelayed(NewDFCM(8, 10), 32) },
+		"perfect":       func() Predictor { return NewPerfectHybrid(NewStride(8), NewFCM(8, 10)) },
+		"meta":          func() Predictor { return NewMetaHybrid(NewStride(8), NewFCM(8, 10), 8) },
+		"counterconf":   func() Predictor { return NewCounterConfidence(NewDFCM(8, 10), 8, 15, 8) },
+		"hashtag":       func() Predictor { return NewHashTag(NewDFCM(8, 10), 6, 7) },
+		"combined": func() Predictor {
+			d := NewDFCM(8, 10)
+			return NewCombined(d, NewHashTag(d, 6, 7), NewCounterConfidence(d, 6, 15, 4))
+		},
+	}
+	for name, mk := range mks {
+		concrete, generic := mk(), mk()
+		if _, ok := concrete.(BatchRunner); !ok {
+			t.Errorf("%s: does not implement BatchRunner", name)
+			continue
+		}
+		for _, chunk := range []int{1, 17, 733, len(tr)} {
+			for start := 0; start < len(tr); start += chunk {
+				end := start + chunk
+				if end > len(tr) {
+					end = len(tr)
+				}
+				got := RunBatch(concrete, tr[start:end])
+				want := runGenericBatch(generic, tr[start:end])
+				if got != want {
+					t.Fatalf("%s chunk %d at %d: concrete %+v, generic %+v", name, chunk, start, got, want)
+				}
+			}
+		}
+		cs, cok := concrete.(Snapshotter)
+		gs, gok := generic.(Snapshotter)
+		if cok && gok {
+			if string(cs.AppendState(nil)) != string(gs.AppendState(nil)) {
+				t.Errorf("%s: serialized state diverged between concrete and generic loops", name)
+			}
+		}
+		for _, e := range tr[:64] {
+			if concrete.Predict(e.PC) != generic.Predict(e.PC) {
+				t.Errorf("%s: post-run predictions diverged at pc %#x", name, e.PC)
+				break
+			}
+		}
+	}
+}

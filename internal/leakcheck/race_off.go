@@ -1,0 +1,9 @@
+//go:build !race
+
+package leakcheck
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Zero-allocation assertions (testing.AllocsPerRun == 0)
+// skip when it is true: the detector instruments synchronization with
+// its own heap allocations, so the budget only holds in pure builds.
+const RaceEnabled = false

@@ -18,6 +18,16 @@ type Client struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	timeout time.Duration
+
+	// Single-goroutine scratch for the typed methods, making their
+	// steady state allocation-free: requests encode into reqBuf and
+	// responses land in respBuf. Every typed method decodes (copying
+	// what it returns) before the next round trip, so the reuse never
+	// escapes — except SnapshotSession and the exported RoundTrip,
+	// whose returned bytes outlive the call and therefore bypass
+	// respBuf entirely.
+	reqBuf  []byte
+	respBuf []byte
 }
 
 // Dial connects to a vpserve at addr with a 10s I/O timeout per
@@ -92,14 +102,29 @@ func (d Dialer) Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip writes one request frame and reads its response payload.
+// roundTrip writes one request frame and reads its response payload
+// into the client's respBuf scratch. The payload is only valid until
+// the next round trip; typed-method callers decode-and-copy before
+// returning.
 func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
-	return c.roundTripMax(op, payload, DefaultMaxFrame)
+	p, err := c.roundTripBuf(op, payload, DefaultMaxFrame, c.respBuf)
+	if p != nil {
+		c.respBuf = p
+	}
+	return p, err
 }
 
-// roundTripMax is roundTrip with an explicit response-frame bound, for
-// the ops (SnapshotSession) whose responses outgrow DefaultMaxFrame.
+// roundTripMax is roundTrip with an explicit response-frame bound and
+// a freshly allocated response, for the ops (SnapshotSession) whose
+// returned bytes outlive the call.
 func (c *Client) roundTripMax(op byte, payload []byte, maxResp int) ([]byte, error) {
+	return c.roundTripBuf(op, payload, maxResp, nil)
+}
+
+// roundTripBuf writes one request frame and reads its response
+// payload into buf's backing storage (growing it as needed); the
+// returned slice aliases it.
+func (c *Client) roundTripBuf(op byte, payload []byte, maxResp int, buf []byte) ([]byte, error) {
 	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 		return nil, err
 	}
@@ -109,7 +134,7 @@ func (c *Client) roundTripMax(op byte, payload []byte, maxResp int) ([]byte, err
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	respOp, respPayload, err := readFrame(c.br, maxResp)
+	respOp, respPayload, err := readFrameInto(c.br, maxResp, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -123,17 +148,28 @@ func (c *Client) roundTripMax(op byte, payload []byte, maxResp int) ([]byte, err
 // On StatusBusy/StatusClosed the values are nil: the caller proceeds
 // without a prediction.
 func (c *Client) PredictBatch(session uint64, pcs []uint32) ([]uint32, Status, error) {
-	p, err := c.roundTrip(OpPredictBatch, encodePredictReq(session, pcs))
+	return c.PredictBatchAppend(session, pcs, nil)
+}
+
+// PredictBatchAppend is PredictBatch decoding the predictions into
+// out's backing storage when its capacity suffices (allocating a
+// larger slice otherwise); the returned slice replaces the caller's
+// scratch, making a steady-state predict loop allocation-free end to
+// end.
+func (c *Client) PredictBatchAppend(session uint64, pcs []uint32, out []uint32) ([]uint32, Status, error) {
+	c.reqBuf = appendPredictReq(c.reqBuf[:0], session, pcs)
+	p, err := c.roundTrip(OpPredictBatch, c.reqBuf)
 	if err != nil {
 		return nil, 0, err
 	}
-	st, values, err := decodePredictResp(p)
+	st, values, err := decodePredictRespInto(p, out)
 	return values, st, err
 }
 
 // UpdateBatch trains the session with the outcomes.
 func (c *Client) UpdateBatch(session uint64, events []trace.Event) (Status, error) {
-	p, err := c.roundTrip(OpUpdateBatch, encodeEventReq(session, events))
+	c.reqBuf = appendEventReq(c.reqBuf[:0], session, events)
+	p, err := c.roundTrip(OpUpdateBatch, c.reqBuf)
 	if err != nil {
 		return 0, err
 	}
@@ -143,7 +179,8 @@ func (c *Client) UpdateBatch(session uint64, events []trace.Event) (Status, erro
 // RunBatch replays the events through the session's predictor with
 // the offline predict-compare-update loop and returns the hit count.
 func (c *Client) RunBatch(session uint64, events []trace.Event) (hits uint32, st Status, err error) {
-	p, err := c.roundTrip(OpRunBatch, encodeEventReq(session, events))
+	c.reqBuf = appendEventReq(c.reqBuf[:0], session, events)
+	p, err := c.roundTrip(OpRunBatch, c.reqBuf)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -173,7 +210,8 @@ func (c *Client) Stats() (Stats, error) {
 
 // ResetSession clears the session's learned state on the server.
 func (c *Client) ResetSession(session uint64) (Status, error) {
-	p, err := c.roundTrip(OpResetSession, encodeSessionReq(session))
+	c.reqBuf = appendU64(c.reqBuf[:0], session)
+	p, err := c.roundTrip(OpResetSession, c.reqBuf)
 	if err != nil {
 		return 0, err
 	}
@@ -209,9 +247,20 @@ func (c *Client) RestoreSession(session uint64, blob []byte) (Status, error) {
 // round-trips the payload verbatim. The response bound follows the
 // op (SnapshotSession responses may reach MaxSnapshotFrame).
 func (c *Client) RoundTrip(op byte, payload []byte) ([]byte, error) {
+	return c.RoundTripAppend(op, payload, nil)
+}
+
+// RoundTripAppend is RoundTrip reading the response payload into
+// buf's backing storage (growing it as needed); the returned slice
+// aliases it. The buffer is caller-owned precisely because proxy
+// clients are pooled (cluster.Pool returns the client for another
+// borrower while the caller still holds the response): a client-owned
+// scratch here would be overwritten by the connection's next
+// borrower, so the caller supplies — and keeps — the storage instead.
+func (c *Client) RoundTripAppend(op byte, payload, buf []byte) ([]byte, error) {
 	maxResp := DefaultMaxFrame
 	if op == OpSnapshotSession {
 		maxResp = MaxSnapshotFrame
 	}
-	return c.roundTripMax(op, payload, maxResp)
+	return c.roundTripBuf(op, payload, maxResp, buf)
 }

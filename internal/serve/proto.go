@@ -160,9 +160,29 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame, enforcing the magic, version and frame
-// size bound. maxFrame <= 0 selects DefaultMaxFrame.
+// readFrame reads one frame into a fresh payload allocation; see
+// readFrameInto for the buffer-reusing hot path.
 func readFrame(r io.Reader, maxFrame int) (op byte, payload []byte, err error) {
+	return readFrameInto(r, maxFrame, nil)
+}
+
+// growPayload returns a length-n byte slice backed by buf's array when
+// its capacity allows, allocating a larger one otherwise. Callers must
+// have length-checked n against the applicable frame cap already.
+func growPayload(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
+}
+
+// readFrameInto reads one frame, enforcing the magic, version and
+// frame size bound, reusing buf as payload storage: the returned
+// payload aliases buf when it fits and replaces it otherwise, so
+// callers keep the returned slice as their scratch for the next call.
+// The payload is only valid until that next call. maxFrame <= 0
+// selects DefaultMaxFrame.
+func readFrameInto(r io.Reader, maxFrame int, buf []byte) (op byte, payload []byte, err error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
@@ -180,9 +200,9 @@ func readFrame(r io.Reader, maxFrame int) (op byte, payload []byte, err error) {
 	if n > uint32(maxFrame) {
 		return 0, nil, ErrFrameSize
 	}
-	payload = make([]byte, n)
+	payload = growPayload(buf, int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("serve: reading %d-byte payload: %w", n, err)
+		return 0, nil, err
 	}
 	return hdr[3], payload, nil
 }
@@ -197,9 +217,8 @@ func appendU64(b []byte, v uint64) []byte {
 	return binary.BigEndian.AppendUint64(b, v)
 }
 
-// encodePredictReq builds a PredictBatch request payload.
-func encodePredictReq(session uint64, pcs []uint32) []byte {
-	b := make([]byte, 0, 12+4*len(pcs))
+// appendPredictReq appends a PredictBatch request payload to b.
+func appendPredictReq(b []byte, session uint64, pcs []uint32) []byte {
 	b = appendU64(b, session)
 	b = appendU32(b, uint32(len(pcs)))
 	for _, pc := range pcs {
@@ -208,7 +227,19 @@ func encodePredictReq(session uint64, pcs []uint32) []byte {
 	return b
 }
 
+// encodePredictReq builds a PredictBatch request payload.
+func encodePredictReq(session uint64, pcs []uint32) []byte {
+	return appendPredictReq(make([]byte, 0, 12+4*len(pcs)), session, pcs)
+}
+
 func decodePredictReq(p []byte) (session uint64, pcs []uint32, err error) {
+	return decodePredictReqInto(p, nil)
+}
+
+// decodePredictReqInto decodes a PredictBatch request reusing pcs's
+// backing storage when its capacity suffices (allocating a larger
+// slice otherwise); the returned slice replaces the caller's scratch.
+func decodePredictReqInto(p []byte, pcs []uint32) (session uint64, out []uint32, err error) {
 	if len(p) < 12 {
 		return 0, nil, ErrTruncated
 	}
@@ -218,16 +249,20 @@ func decodePredictReq(p []byte) (session uint64, pcs []uint32, err error) {
 	if uint64(len(body)) != 4*uint64(n) {
 		return 0, nil, ErrTruncated
 	}
-	pcs = make([]uint32, n)
-	for i := range pcs {
-		pcs[i] = binary.BigEndian.Uint32(body[4*i:])
+	if cap(pcs) >= int(n) {
+		out = pcs[:n]
+	} else {
+		out = make([]uint32, n)
 	}
-	return session, pcs, nil
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(body[4*i:])
+	}
+	return session, out, nil
 }
 
-// encodeEventReq builds an UpdateBatch or RunBatch request payload.
-func encodeEventReq(session uint64, events []trace.Event) []byte {
-	b := make([]byte, 0, 12+8*len(events))
+// appendEventReq appends an UpdateBatch or RunBatch request payload
+// to b.
+func appendEventReq(b []byte, session uint64, events []trace.Event) []byte {
 	b = appendU64(b, session)
 	b = appendU32(b, uint32(len(events)))
 	for _, e := range events {
@@ -237,7 +272,20 @@ func encodeEventReq(session uint64, events []trace.Event) []byte {
 	return b
 }
 
+// encodeEventReq builds an UpdateBatch or RunBatch request payload.
+func encodeEventReq(session uint64, events []trace.Event) []byte {
+	return appendEventReq(make([]byte, 0, 12+8*len(events)), session, events)
+}
+
 func decodeEventReq(p []byte) (session uint64, events []trace.Event, err error) {
+	return decodeEventReqInto(p, nil)
+}
+
+// decodeEventReqInto decodes an UpdateBatch/RunBatch request reusing
+// events's backing storage when its capacity suffices (allocating a
+// larger slice otherwise); the returned slice replaces the caller's
+// scratch.
+func decodeEventReqInto(p []byte, events []trace.Event) (session uint64, out []trace.Event, err error) {
 	if len(p) < 12 {
 		return 0, nil, ErrTruncated
 	}
@@ -247,12 +295,16 @@ func decodeEventReq(p []byte) (session uint64, events []trace.Event, err error) 
 	if uint64(len(body)) != 8*uint64(n) {
 		return 0, nil, ErrTruncated
 	}
-	events = make([]trace.Event, n)
-	for i := range events {
-		events[i].PC = binary.BigEndian.Uint32(body[8*i:])
-		events[i].Value = binary.BigEndian.Uint32(body[8*i+4:])
+	if cap(events) >= int(n) {
+		out = events[:n]
+	} else {
+		out = make([]trace.Event, n)
 	}
-	return session, events, nil
+	for i := range out {
+		out[i].PC = binary.BigEndian.Uint32(body[8*i:])
+		out[i].Value = binary.BigEndian.Uint32(body[8*i+4:])
+	}
+	return session, out, nil
 }
 
 // encodeRestoreReq builds a RestoreSession request payload: the
@@ -285,14 +337,13 @@ func decodeSessionReq(p []byte) (uint64, error) {
 	return binary.BigEndian.Uint64(p), nil
 }
 
-// encodePredictResp builds a PredictBatch response payload. values is
-// ignored unless st is StatusOK.
-func encodePredictResp(st Status, values []uint32) []byte {
-	if st != StatusOK {
-		return []byte{byte(st)}
-	}
-	b := make([]byte, 0, 5+4*len(values))
+// appendPredictResp appends a PredictBatch response payload to b.
+// values is ignored unless st is StatusOK.
+func appendPredictResp(b []byte, st Status, values []uint32) []byte {
 	b = append(b, byte(st))
+	if st != StatusOK {
+		return b
+	}
 	b = appendU32(b, uint32(len(values)))
 	for _, v := range values {
 		b = appendU32(b, v)
@@ -300,7 +351,21 @@ func encodePredictResp(st Status, values []uint32) []byte {
 	return b
 }
 
+// encodePredictResp builds a PredictBatch response payload. values is
+// ignored unless st is StatusOK.
+func encodePredictResp(st Status, values []uint32) []byte {
+	return appendPredictResp(make([]byte, 0, 5+4*len(values)), st, values)
+}
+
 func decodePredictResp(p []byte) (Status, []uint32, error) {
+	return decodePredictRespInto(p, nil)
+}
+
+// decodePredictRespInto decodes a PredictBatch response reusing
+// values's backing storage when its capacity suffices (allocating a
+// larger slice otherwise); the returned slice replaces the caller's
+// scratch.
+func decodePredictRespInto(p []byte, values []uint32) (Status, []uint32, error) {
 	if len(p) < 1 {
 		return 0, nil, ErrTruncated
 	}
@@ -316,12 +381,20 @@ func decodePredictResp(p []byte) (Status, []uint32, error) {
 	if uint64(len(body)) != 4*uint64(n) {
 		return 0, nil, ErrTruncated
 	}
-	values := make([]uint32, n)
-	for i := range values {
-		values[i] = binary.BigEndian.Uint32(body[4*i:])
+	var out []uint32
+	if cap(values) >= int(n) {
+		out = values[:n]
+	} else {
+		out = make([]uint32, n)
 	}
-	return st, values, nil
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(body[4*i:])
+	}
+	return st, out, nil
 }
+
+// appendStatusResp appends a status-only response payload to b.
+func appendStatusResp(b []byte, st Status) []byte { return append(b, byte(st)) }
 
 // encodeStatusResp builds a status-only response payload.
 func encodeStatusResp(st Status) []byte { return []byte{byte(st)} }
@@ -333,14 +406,18 @@ func decodeStatusResp(p []byte) (Status, error) {
 	return Status(p[0]), nil
 }
 
+// appendRunResp appends a RunBatch response payload to b.
+func appendRunResp(b []byte, st Status, hits uint32) []byte {
+	b = append(b, byte(st))
+	if st != StatusOK {
+		return b
+	}
+	return appendU32(b, hits)
+}
+
 // encodeRunResp builds a RunBatch response payload.
 func encodeRunResp(st Status, hits uint32) []byte {
-	if st != StatusOK {
-		return []byte{byte(st)}
-	}
-	b := make([]byte, 0, 5)
-	b = append(b, byte(st))
-	return appendU32(b, hits)
+	return appendRunResp(make([]byte, 0, 5), st, hits)
 }
 
 func decodeRunResp(p []byte) (Status, uint32, error) {
@@ -357,11 +434,15 @@ func decodeRunResp(p []byte) (Status, uint32, error) {
 	return st, binary.BigEndian.Uint32(p[1:]), nil
 }
 
-// encodeStatsResp builds a Stats response payload around a JSON body.
-func encodeStatsResp(st Status, body []byte) []byte {
-	b := make([]byte, 0, 1+len(body))
+// appendStatsResp appends a Stats response payload to b.
+func appendStatsResp(b []byte, st Status, body []byte) []byte {
 	b = append(b, byte(st))
 	return append(b, body...)
+}
+
+// encodeStatsResp builds a Stats response payload around a JSON body.
+func encodeStatsResp(st Status, body []byte) []byte {
+	return appendStatsResp(make([]byte, 0, 1+len(body)), st, body)
 }
 
 func decodeStatsResp(p []byte) (Status, []byte, error) {
@@ -371,16 +452,21 @@ func decodeStatsResp(p []byte) (Status, []byte, error) {
 	return Status(p[0]), p[1:], nil
 }
 
+// appendSnapshotResp appends a SnapshotSession response payload to b.
+// blob is ignored unless st is StatusOK.
+func appendSnapshotResp(b []byte, st Status, blob []byte) []byte {
+	b = append(b, byte(st))
+	if st != StatusOK {
+		return b
+	}
+	return append(b, blob...)
+}
+
 // encodeSnapshotResp builds a SnapshotSession response payload around
 // the encoded snapshot file bytes. blob is ignored unless st is
 // StatusOK.
 func encodeSnapshotResp(st Status, blob []byte) []byte {
-	if st != StatusOK {
-		return []byte{byte(st)}
-	}
-	b := make([]byte, 0, 1+len(blob))
-	b = append(b, byte(st))
-	return append(b, blob...)
+	return appendSnapshotResp(make([]byte, 0, 1+len(blob)), st, blob)
 }
 
 func decodeSnapshotResp(p []byte) (Status, []byte, error) {
@@ -406,6 +492,15 @@ func decodeSnapshotResp(p []byte) (Status, []byte, error) {
 // on a still-synchronized connection. Only a frame beyond
 // MaxSnapshotFrame, which no VP1 peer legitimately sends, is an error.
 func ReadRequestFrame(r io.Reader, maxFrame int) (op byte, payload []byte, oversized bool, err error) {
+	return ReadRequestFrameBuf(r, maxFrame, nil)
+}
+
+// ReadRequestFrameBuf is ReadRequestFrame reusing buf as payload
+// storage: the returned payload aliases buf when it fits and replaces
+// it otherwise, so a connection loop keeps the returned slice as its
+// scratch for the next frame. The payload is only valid until that
+// next call.
+func ReadRequestFrameBuf(r io.Reader, maxFrame int, buf []byte) (op byte, payload []byte, oversized bool, err error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
@@ -434,9 +529,9 @@ func ReadRequestFrame(r io.Reader, maxFrame int) (op byte, payload []byte, overs
 		}
 		return op, nil, true, nil
 	}
-	payload = make([]byte, n)
+	payload = growPayload(buf, int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, false, fmt.Errorf("serve: reading %d-byte payload: %w", n, err)
+		return 0, nil, false, err
 	}
 	return op, payload, false, nil
 }

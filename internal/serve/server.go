@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ServerConfig parameterizes a Server. The zero value selects sane
@@ -94,6 +96,22 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// connScratch is one connection's reusable hot-path buffers: the
+// request frame payload, the decoded batch, the prediction output and
+// the encoded response all live here, so a steady-state
+// PredictBatch/RunBatch frame allocates nothing. The buffers are
+// owned by the connection goroutine; each is valid until the next
+// frame on the same connection (the response is fully written and
+// flushed before the next read starts, so reuse never overlaps a
+// pending write).
+type connScratch struct {
+	frame  []byte        // request payload (ReadRequestFrameBuf)
+	events []trace.Event // decoded UpdateBatch/RunBatch events
+	pcs    []uint32      // decoded PredictBatch PCs
+	values []uint32      // engine prediction output
+	resp   []byte        // encoded response payload
+}
+
 // serveConn runs one connection's request loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.connWG.Done()
@@ -105,26 +123,31 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	sc := &connScratch{}
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return // connection already dead
 		}
-		op, payload, oversized, err := ReadRequestFrame(br, s.cfg.MaxFrame)
+		op, payload, oversized, err := ReadRequestFrameBuf(br, s.cfg.MaxFrame, sc.frame)
 		if err != nil {
 			// EOF, timeout, insane frame size or malformed header: drop
 			// the connection. The framing carries no frame IDs, so there
 			// is no way to resynchronize a corrupted stream.
 			return
 		}
+		if payload != nil {
+			sc.frame = payload
+		}
 		var respPayload []byte
 		if oversized {
 			// The declared payload exceeded the cap but was drained in
 			// full, so the stream is still synchronized: answer a clean
 			// status instead of dropping the connection.
-			respPayload = encodeStatusResp(StatusBadRequest)
+			respPayload = appendStatusResp(sc.resp[:0], StatusBadRequest)
 		} else {
-			respPayload = s.dispatch(op, payload)
+			respPayload = s.dispatch(op, payload, sc)
 		}
+		sc.resp = respPayload
 		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 			return
 		}
@@ -138,54 +161,63 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // dispatch decodes one request, runs it on the engine, and encodes
-// the response payload. Malformed payloads produce StatusBadRequest
-// rather than killing the connection: the frame boundary is intact,
-// so the stream remains synchronized.
-func (s *Server) dispatch(op byte, payload []byte) []byte {
+// the response payload into sc.resp's storage (the returned slice is
+// rooted there; serveConn stores it back as the next frame's
+// scratch). Malformed payloads produce StatusBadRequest rather than
+// killing the connection: the frame boundary is intact, so the stream
+// remains synchronized.
+func (s *Server) dispatch(op byte, payload []byte, sc *connScratch) []byte {
+	resp := sc.resp[:0]
 	switch op {
 	case OpPredictBatch:
-		session, pcs, err := decodePredictReq(payload)
+		session, pcs, err := decodePredictReqInto(payload, sc.pcs)
 		if err != nil {
-			return encodePredictResp(StatusBadRequest, nil)
+			return appendPredictResp(resp, StatusBadRequest, nil)
 		}
-		values, st := s.engine.PredictBatch(session, pcs)
-		return encodePredictResp(st, values)
+		sc.pcs = pcs
+		values, st := s.engine.PredictBatchAppend(session, pcs, sc.values)
+		if values != nil {
+			sc.values = values
+		}
+		return appendPredictResp(resp, st, values)
 	case OpUpdateBatch:
-		session, events, err := decodeEventReq(payload)
+		session, events, err := decodeEventReqInto(payload, sc.events)
 		if err != nil {
-			return encodeStatusResp(StatusBadRequest)
+			return appendStatusResp(resp, StatusBadRequest)
 		}
-		return encodeStatusResp(s.engine.UpdateBatch(session, events))
+		sc.events = events
+		return appendStatusResp(resp, s.engine.UpdateBatch(session, events))
 	case OpRunBatch:
-		session, events, err := decodeEventReq(payload)
+		session, events, err := decodeEventReqInto(payload, sc.events)
 		if err != nil {
-			return encodeRunResp(StatusBadRequest, 0)
+			return appendRunResp(resp, StatusBadRequest, 0)
 		}
+		sc.events = events
 		hits, st := s.engine.RunBatch(session, events)
-		return encodeRunResp(st, hits)
+		return appendRunResp(resp, st, hits)
 	case OpStats:
-		return encodeStatsResp(StatusOK, s.engine.StatsJSON())
+		return appendStatsResp(resp, StatusOK, s.engine.StatsJSON())
 	case OpResetSession:
 		session, err := decodeSessionReq(payload)
 		if err != nil {
-			return encodeStatusResp(StatusBadRequest)
+			return appendStatusResp(resp, StatusBadRequest)
 		}
-		return encodeStatusResp(s.engine.ResetSession(session))
+		return appendStatusResp(resp, s.engine.ResetSession(session))
 	case OpSnapshotSession:
 		session, err := decodeSessionReq(payload)
 		if err != nil {
-			return encodeSnapshotResp(StatusBadRequest, nil)
+			return appendSnapshotResp(resp, StatusBadRequest, nil)
 		}
 		blob, st := s.engine.SnapshotSession(session)
-		return encodeSnapshotResp(st, blob)
+		return appendSnapshotResp(resp, st, blob)
 	case OpRestoreSession:
 		session, blob, err := decodeRestoreReq(payload)
 		if err != nil {
-			return encodeStatusResp(StatusBadRequest)
+			return appendStatusResp(resp, StatusBadRequest)
 		}
-		return encodeStatusResp(s.engine.RestoreSession(session, blob))
+		return appendStatusResp(resp, s.engine.RestoreSession(session, blob))
 	default:
-		return encodeStatusResp(StatusBadRequest)
+		return appendStatusResp(resp, StatusBadRequest)
 	}
 }
 
