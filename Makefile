@@ -33,7 +33,7 @@ lint:
 	$(GO) run ./cmd/vplint -deadline 60s ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/cluster/... ./internal/core/... ./internal/engine/... ./cmd/vpserve/... ./cmd/vprouter/... ./cmd/vploadgen/... ./cmd/dfcmsim/...
+	$(GO) test -race ./internal/serve/... ./internal/cluster/... ./internal/autotune/... ./internal/core/... ./internal/engine/... ./cmd/vpserve/... ./cmd/vprouter/... ./cmd/vploadgen/... ./cmd/dfcmsim/...
 
 # Short fuzz smoke over the attacker-facing decoders and the history
 # hashes. CI-friendly: a few seconds per target; crank -fuzztime for
@@ -63,8 +63,8 @@ fuzz:
 # rework's per-predictor win.
 #
 # The -zero gates are the CI alloc-regression tripwire: the build
-# fails if the steady-state engine replay or either serve dispatch
-# benchmark reports any allocs/op.
+# fails if the steady-state engine replay, either serve dispatch
+# benchmark, or the autotune mirror-tap path reports any allocs/op.
 BENCH_FIG9_BASELINE_NS ?= 18681932
 BENCH_REPLAY_BASELINE_NS ?= 2049359
 BENCH_DFCM_BASELINE_NS ?= 10.74
@@ -82,6 +82,7 @@ bench:
 	  $(GO) test -run='^$$' -bench='^BenchmarkSnapshot' -benchmem -count=$(BENCH_COUNT) . ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkEngineReplay$$' -benchmem ./internal/engine/ ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkServe' -benchmem -count=$(BENCH_COUNT) ./internal/serve/ ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkServe' -benchmem -count=$(BENCH_COUNT) ./internal/autotune/ ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkClusterBackends' -benchmem -count=$(BENCH_COUNT) ./internal/cluster/ ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_engine.json \
 	    -cmd "make bench (go test -bench . -benchtime 1x -benchmem; Predict*/RunBatch*/Snapshot*/EngineReplay/Serve*/ClusterBackends* at steady state)" \
@@ -96,7 +97,8 @@ bench:
 	    -speedup BenchmarkPredictPerfectHybrid=$(BENCH_PERFECT_BASELINE_NS) \
 	    -zero BenchmarkEngineReplay \
 	    -zero BenchmarkServeDispatchRunBatch \
-	    -zero BenchmarkServeDispatchPredictBatch
+	    -zero BenchmarkServeDispatchPredictBatch \
+	    -zero BenchmarkServeMirrorTap
 	@cat BENCH_engine.json
 
 # Per-op predictor baselines for the serving hot path.

@@ -22,10 +22,24 @@
 // so a restart costs no cold-start accuracy. Snapshots whose
 // predictor spec does not match the current flags are skipped, not
 // loaded wrong.
+//
+// With -autotune, an online tuner (internal/autotune) shadows a
+// sampled fraction of each session's training traffic through the
+// -autotune-candidates specs and hot-swaps a session's predictor when
+// a candidate beats its incumbent by the hysteresis margin:
+//
+//	vpserve -addr :9177 -predictor dfcm -l1 10 -l2 10 \
+//	    -autotune -autotune-candidates "dfcm:14:12,dfcm:12:10:16,stride:14"
+//
+// Tuner counters and per-session shadow scores are served as JSON on
+// the HTTP listener's /autotune endpoint. Autotuned servers adopt
+// snapshot specs on warm start, so a swapped session survives a
+// restart under its swapped configuration.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -48,6 +63,14 @@ type options struct {
 	engine   serve.Config
 	server   serve.ServerConfig
 	drain    time.Duration
+
+	autotune     bool
+	atCandidates string
+	atObjective  string
+	atSample     float64
+	atSeed       uint64
+	atWindow     int
+	atMargin     float64
 }
 
 // parseFlags binds the option set to fs and returns the destination
@@ -70,41 +93,100 @@ func parseFlags(fs *flag.FlagSet) *options {
 	fs.DurationVar(&o.server.WriteTimeout, "write-timeout", 10*time.Second, "per-response write deadline")
 	fs.IntVar(&o.server.MaxFrame, "max-frame", serve.DefaultMaxFrame, "maximum request frame payload in bytes")
 	fs.DurationVar(&o.drain, "drain", 10*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
+	fs.BoolVar(&o.autotune, "autotune", false, "enable the online autotuner (shadow-evaluates -autotune-candidates and hot-swaps winners)")
+	fs.StringVar(&o.atCandidates, "autotune-candidates", "", "comma-separated candidate specs, kind:l1[:l2[:width[:delay]]] (required with -autotune)")
+	fs.StringVar(&o.atObjective, "autotune-objective", "accuracy", "promotion objective: accuracy | efficiency (accuracy per Kbit)")
+	fs.Float64Var(&o.atSample, "autotune-sample", 1, "fraction of training batches mirrored to the tuner, in (0,1]")
+	fs.Uint64Var(&o.atSeed, "autotune-seed", 0, "sampling hash seed (fixed seed = reproducible mirrored subsequence)")
+	fs.IntVar(&o.atWindow, "autotune-window", 0, "shadow scoring window in judged events (0 = default)")
+	fs.Float64Var(&o.atMargin, "autotune-margin", 0, "relative score margin a candidate must clear to be promoted (0 = default)")
 	return o
 }
 
-// newServer validates the options and builds the engine and server,
-// warm-starting from the checkpoint directory when one is configured.
-func newServer(o *options) (*serve.Server, error) {
+// newServer validates the options and builds the engine, server and
+// (with -autotune) the tuner, warm-starting from the checkpoint
+// directory when one is configured. The returned tuner is nil when
+// autotuning is off; callers owning the drain path must Close it
+// before shutting the server down.
+func newServer(o *options) (*serve.Server, *autotune.Tuner, error) {
 	// Probe the spec once so a bad flag combination fails at startup,
 	// not on the first session.
 	if _, err := o.spec.New(); err != nil {
-		return nil, fmt.Errorf("predictor spec: %w", err)
+		return nil, nil, fmt.Errorf("predictor spec: %w", err)
+	}
+	var candidates []core.Spec
+	if o.autotune {
+		var err error
+		if candidates, err = autotune.ParseSpecs(o.atCandidates); err != nil {
+			return nil, nil, err
+		}
 	}
 	cfg := o.engine
 	cfg.Spec = o.spec // the engine derives NewPredictor from it
+	// An autotuned server's sessions drift from the boot spec by
+	// hot-swap; adopting snapshot specs on warm start keeps a swapped
+	// session's configuration across a restart.
+	cfg.AdoptSnapshotSpecs = o.autotune
 	engine, err := serve.NewEngine(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.CheckpointDir != "" {
 		restored, skipped, err := engine.LoadCheckpoints()
 		if err != nil {
 			engine.Close()
-			return nil, fmt.Errorf("warm start from %s: %w", cfg.CheckpointDir, err)
+			return nil, nil, fmt.Errorf("warm start from %s: %w", cfg.CheckpointDir, err)
 		}
 		if restored+skipped > 0 {
 			log.Printf("vpserve: warm start: %d sessions restored, %d files skipped", restored, skipped)
 		}
 	}
-	return serve.NewServer(engine, o.server), nil
+	var tuner *autotune.Tuner
+	if o.autotune {
+		tuner, err = autotune.New(autotune.Config{
+			Engine:     engine,
+			Boot:       o.spec,
+			Candidates: candidates,
+			Objective:  o.atObjective,
+			SampleRate: o.atSample,
+			Seed:       o.atSeed,
+			Window:     o.atWindow,
+			Margin:     o.atMargin,
+		})
+		if err != nil {
+			engine.Close()
+			return nil, nil, err
+		}
+	}
+	return serve.NewServer(engine, o.server), tuner, nil
+}
+
+// newStatsMux builds the HTTP admin mux: engine stats on /stats and,
+// when the tuner runs, its counters and shadow scores on /autotune.
+func newStatsMux(srv *serve.Server, tuner *autotune.Tuner) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/stats", serve.StatsHandler(srv.Engine()))
+	mux.HandleFunc("/autotune", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if tuner == nil {
+			fmt.Fprintln(w, `{"enabled":false}`)
+			return
+		}
+		b, err := json.Marshal(tuner.Status())
+		if err != nil {
+			http.Error(w, "status marshal failed", http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b) // client gone mid-reply is not a server error
+	})
+	return mux
 }
 
 func main() {
 	o := parseFlags(flag.CommandLine)
 	flag.Parse()
 
-	srv, err := newServer(o)
+	srv, tuner, err := newServer(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpserve:", err)
 		os.Exit(2)
@@ -115,6 +197,9 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("vpserve: serving %s on %s", srv.Engine().Snapshot().Predictor, ln.Addr())
+	if tuner != nil {
+		log.Printf("vpserve: autotune on: candidates %q, objective %s", o.atCandidates, o.atObjective)
+	}
 
 	// The stats listener is tied to the drain path below: its goroutine
 	// closes statsDone, and shutdown closes the http.Server and joins
@@ -122,9 +207,7 @@ func main() {
 	statsDone := make(chan struct{})
 	var statsSrv *http.Server
 	if o.httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/stats", serve.StatsHandler(srv.Engine()))
-		statsSrv = &http.Server{Addr: o.httpAddr, Handler: mux}
+		statsSrv = &http.Server{Addr: o.httpAddr, Handler: newStatsMux(srv, tuner)}
 		go func() {
 			defer close(statsDone)
 			if err := statsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -144,6 +227,11 @@ func main() {
 	select {
 	case s := <-sig:
 		log.Printf("vpserve: %v: draining (timeout %v)", s, o.drain)
+		if tuner != nil {
+			// Detach the tap and join the tuner loop before the engine
+			// drains, so no swap races the final checkpoint.
+			tuner.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), o.drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -2,12 +2,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"net"
+	"net/http/httptest"
 	"testing"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -28,7 +32,7 @@ func TestNewServerRejectsBadSpec(t *testing.T) {
 		{"-predictor", "dfcm", "-l1", "60"},
 		{"-predictor", "dfcm", "-width", "99"},
 	} {
-		if _, err := newServer(optionsFromArgs(t, args...)); err == nil {
+		if _, _, err := newServer(optionsFromArgs(t, args...)); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -36,9 +40,12 @@ func TestNewServerRejectsBadSpec(t *testing.T) {
 
 func TestServerBootAndServe(t *testing.T) {
 	o := optionsFromArgs(t, "-predictor", "dfcm", "-l1", "10", "-l2", "10", "-shards", "2")
-	srv, err := newServer(o)
+	srv, tuner, err := newServer(o)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if tuner != nil {
+		t.Fatal("tuner built without -autotune")
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -76,11 +83,13 @@ func TestServerBootAndServe(t *testing.T) {
 }
 
 // bootServer builds a server from flags and serves it on a loopback
-// listener; the returned shutdown func drains it gracefully (taking
-// the drain checkpoint when one is configured).
-func bootServer(t *testing.T, args ...string) (addr string, shutdown func()) {
+// listener; the returned shutdown func drains it gracefully (closing
+// the tuner first and taking the drain checkpoint when either is
+// configured). The returned server and tuner let tests reach the
+// engine and tuner status directly.
+func bootServer(t *testing.T, args ...string) (addr string, srv *serve.Server, tuner *autotune.Tuner, shutdown func()) {
 	t.Helper()
-	srv, err := newServer(optionsFromArgs(t, args...))
+	srv, tuner, err := newServer(optionsFromArgs(t, args...))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +102,10 @@ func bootServer(t *testing.T, args ...string) (addr string, shutdown func()) {
 		_ = srv.Serve(ln)
 		close(done)
 	}()
-	return ln.Addr().String(), func() {
+	return ln.Addr().String(), srv, tuner, func() {
+		if tuner != nil {
+			tuner.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -135,7 +147,7 @@ func TestCheckpointRestart(t *testing.T) {
 	const cut = 2600
 	const sessionID = 42
 
-	addr, shutdown := bootServer(t, args...)
+	addr, _, _, shutdown := bootServer(t, args...)
 	c, err := serve.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +159,7 @@ func TestCheckpointRestart(t *testing.T) {
 	c.Close()
 	shutdown() // drain checkpoint
 
-	addr, shutdown = bootServer(t, args...)
+	addr, _, _, shutdown = bootServer(t, args...)
 	defer shutdown()
 	c, err = serve.Dial(addr)
 	if err != nil {
@@ -199,5 +211,94 @@ func TestCheckpointRestart(t *testing.T) {
 	}
 	if gotHits != wantTail {
 		t.Errorf("post-restart tail: served %d hits, offline run scores %d — restart lost accuracy", gotHits, wantTail)
+	}
+}
+
+// TestAutotuneSwapSmoke is the end-to-end autotuning smoke (CI runs it
+// under -race): boot with -autotune and a candidate set whose best
+// member beats the boot spec on the driven workload, stream traffic
+// over the wire, and require at least one hot-swap, a live /autotune
+// admin endpoint, and a clean drain with no leaked goroutines.
+func TestAutotuneSwapSmoke(t *testing.T) {
+	leakcheck.Check(t)
+	// Boot a last-value predictor against a strided workload it can
+	// never predict; the DFCM candidate wins decisively.
+	addr, srv, tuner, shutdown := bootServer(t,
+		"-predictor", "lvp", "-l1", "4", "-shards", "2",
+		"-autotune", "-autotune-candidates", "dfcm:8:8,stride:8",
+		"-autotune-window", "128")
+	defer shutdown()
+	if tuner == nil {
+		t.Fatal("-autotune built no tuner")
+	}
+
+	c, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	events := make(trace.Trace, 12000)
+	v := uint32(5)
+	for i := range events {
+		events[i] = trace.Event{PC: 0x700, Value: v}
+		v += 9
+	}
+	const sessionID = 17
+	for start := 0; start < len(events); start += 200 {
+		if _, st, err := c.RunBatch(sessionID, events[start:start+200]); err != nil || st != serve.StatusOK {
+			t.Fatalf("RunBatch at %d: %v %v", start, st, err)
+		}
+	}
+	tuner.Sync()
+
+	ts := tuner.Status()
+	if ts.Swaps < 1 {
+		t.Fatalf("no swap after %d mirrored events (status %+v)", ts.MirroredEvents, ts)
+	}
+	// The engine agrees, through the wire stats op.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Swaps != ts.Swaps {
+		t.Errorf("engine reports %d swaps, tuner %d", stats.Swaps, ts.Swaps)
+	}
+	var swapped *serve.SessionStat
+	for i := range stats.SessionStats {
+		if stats.SessionStats[i].Session == sessionID {
+			swapped = &stats.SessionStats[i]
+		}
+	}
+	if swapped == nil || swapped.Swaps < 1 || swapped.Spec == nil {
+		t.Fatalf("session stats show no swap: %+v", stats.SessionStats)
+	}
+
+	// The admin endpoint serves the tuner status as JSON.
+	rec := httptest.NewRecorder()
+	newStatsMux(srv, tuner).ServeHTTP(rec, httptest.NewRequest("GET", "/autotune", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/autotune: HTTP %d", rec.Code)
+	}
+	var hs autotune.Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &hs); err != nil {
+		t.Fatalf("/autotune body: %v", err)
+	}
+	if hs.Swaps != ts.Swaps || hs.Sessions < 1 {
+		t.Errorf("/autotune reports %+v, tuner says %+v", hs, ts)
+	}
+}
+
+// TestAutotuneFlagValidation: -autotune without parseable candidates
+// must fail at boot, not at the first session.
+func TestAutotuneFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-autotune"},
+		{"-autotune", "-autotune-candidates", "dfcm:99:10"},
+		{"-autotune", "-autotune-candidates", "dfcm:8:8", "-autotune-objective", "speed"},
+	} {
+		if _, tn, err := newServer(optionsFromArgs(t, args...)); err == nil {
+			tn.Close()
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

@@ -88,6 +88,10 @@ func TestHotPathAllocClusterFixture(t *testing.T) {
 	runFixture(t, "hotpath_cluster.go", "repro/internal/cluster", HotPathAlloc)
 }
 
+func TestHotPathAllocAutotuneFixture(t *testing.T) {
+	runFixture(t, "hotpath_autotune.go", "repro/internal/autotune", HotPathAlloc)
+}
+
 func TestProtoBoundsFixture(t *testing.T) {
 	runFixture(t, "protobounds.go", "repro/internal/serve", ProtoBounds)
 }
@@ -122,6 +126,12 @@ func TestLockDisciplineFixtureAnywhere(t *testing.T) {
 	runFixture(t, "lockdiscipline.go", "repro/internal/elsewhere", LockDiscipline)
 }
 
+// TestLockDisciplineFixtureAutotune: the tuner's guardedby-annotated
+// close flag rides the same annotation-driven rule.
+func TestLockDisciplineFixtureAutotune(t *testing.T) {
+	runFixture(t, "lockdiscipline.go", "repro/internal/autotune", LockDiscipline)
+}
+
 func TestGoroutineLifecycleFixture(t *testing.T) {
 	runFixture(t, "goroutine.go", "repro/internal/serve", GoroutineLifecycle)
 }
@@ -130,6 +140,12 @@ func TestGoroutineLifecycleFixture(t *testing.T) {
 // — that is where loose auxiliary listeners have historically lived.
 func TestGoroutineLifecycleFixtureCmd(t *testing.T) {
 	runFixture(t, "goroutine.go", "repro/cmd/vpserve", GoroutineLifecycle)
+}
+
+// TestGoroutineLifecycleFixtureAutotune: the tuner loop spawns
+// goroutines and lives in the serving tier — same rule, same findings.
+func TestGoroutineLifecycleFixtureAutotune(t *testing.T) {
+	runFixture(t, "goroutine.go", "repro/internal/autotune", GoroutineLifecycle)
 }
 
 func TestProtoExhaustiveFixture(t *testing.T) {
@@ -160,6 +176,7 @@ func TestAnalyzersScopeToTheirPackages(t *testing.T) {
 		{"hotpath_engine.go", HotPathAlloc},
 		{"hotpath_serve.go", HotPathAlloc},
 		{"hotpath_cluster.go", HotPathAlloc},
+		{"hotpath_autotune.go", HotPathAlloc},
 		{"protobounds.go", ProtoBounds},
 		{"protobounds_snapshot.go", ProtoBounds},
 		{"protobounds_cluster.go", ProtoBounds},

@@ -15,10 +15,10 @@ import (
 // fire-and-forget: it can outlive Close, keep sockets open past
 // drain, and leak under the race detector's nose.
 //
-// Scope: internal/serve and internal/cluster (the concurrent serving
-// packages) plus cmd/vpserve and cmd/vprouter (their process
-// harnesses, where auxiliary listeners have historically been spawned
-// loose).
+// Scope: internal/serve, internal/cluster and internal/autotune (the
+// concurrent serving packages) plus cmd/vpserve and cmd/vprouter
+// (their process harnesses, where auxiliary listeners have
+// historically been spawned loose).
 var GoroutineLifecycle = &Analyzer{
 	ID:  "goroutine-lifecycle",
 	Doc: "goroutines in the serving tier must be joinable: WaitGroup, done channel, or context tie",
@@ -28,6 +28,7 @@ var GoroutineLifecycle = &Analyzer{
 func goroutineScope(path string) bool {
 	return strings.HasSuffix(path, "/internal/serve") ||
 		strings.HasSuffix(path, "/internal/cluster") ||
+		strings.HasSuffix(path, "/internal/autotune") ||
 		strings.HasSuffix(path, "/cmd/vpserve") ||
 		strings.HasSuffix(path, "/cmd/vprouter")
 }

@@ -30,7 +30,11 @@ import (
 //     0 allocs/op budget dies the day one of them formats an error
 //     with fmt;
 //   - internal/cluster: the Router.forward method — the proxy's
-//     per-frame backend round trip, same budget.
+//     per-frame backend round trip, same budget;
+//   - internal/autotune: the mirror-enqueue path — the Tuner's Mirror
+//     and sampled methods, which run inline on every shard goroutine
+//     once per training batch and must shed, not allocate, when the
+//     tuner falls behind.
 //
 // Cold paths — constructors, Name, SizeBits, Stats — may use fmt
 // freely; they are out of scope by construction.
@@ -81,6 +85,10 @@ func runHotPathAlloc(pass *Pass) {
 		})
 	case strings.HasSuffix(pass.Pkg.Path, "/internal/cluster"):
 		methodsNamed(pass.Pkg, map[string]bool{"forward": true}, func(decl *ast.FuncDecl, recvType string) {
+			checkHotBody(pass, decl.Name.Name, decl.Body)
+		})
+	case strings.HasSuffix(pass.Pkg.Path, "/internal/autotune"):
+		methodsNamed(pass.Pkg, map[string]bool{"Mirror": true, "sampled": true}, func(decl *ast.FuncDecl, recvType string) {
 			checkHotBody(pass, decl.Name.Name, decl.Body)
 		})
 	}

@@ -1,0 +1,70 @@
+// Seeded-violation fixture for the hot-path-alloc analyzer (autotune
+// scope). Loaded with import path "repro/internal/autotune": the rule
+// lints the mirror-enqueue path — the Tuner's Mirror and sampled
+// methods, which run inline on every shard goroutine once per
+// training batch — and nothing else in the package.
+package autotune
+
+import "fmt"
+
+type event struct {
+	pc, value uint32
+}
+
+type tunerBatch struct {
+	session, seq uint64
+	events       []event
+}
+
+// Tuner mimics the real mailbox shape closely enough to exercise the
+// rule: a bounded channel the hot path feeds without blocking.
+type Tuner struct {
+	seed uint64
+	rate float64
+	mail chan *tunerBatch
+	shed uint64
+}
+
+// Mirror is the tap entry point: in scope by name.
+func (t *Tuner) Mirror(session, seq uint64, events []event) {
+	if !t.sampled(session, seq) {
+		return
+	}
+	defer fmt.Println(session) // want hot-path-alloc
+	b := &tunerBatch{session: session, seq: seq}
+	b.events = append(b.events, events...)
+	select {
+	case t.mail <- b:
+	default:
+		go func() { t.shed++ }() // want hot-path-alloc
+		x := any(seq)            // want hot-path-alloc
+		_ = x
+	}
+}
+
+// sampled is the per-batch admission hash: in scope by name.
+func (t *Tuner) sampled(session, seq uint64) bool {
+	x := t.seed ^ session*0x9e3779b97f4a7c15 ^ seq
+	x ^= x >> 33
+	if t.rate >= 1 {
+		fmt.Printf("admit %d\n", session) // want hot-path-alloc
+	}
+	//lint:ignore hot-path-alloc fixture: debug build only
+	_ = fmt.Sprintf("%d", seq)
+	return float64(x>>11)/(1<<53) < t.rate
+}
+
+// Status is a cold admin path: out of scope, fmt is fine here.
+func (t *Tuner) Status() string {
+	return fmt.Sprintf("shed=%d", t.shed)
+}
+
+// Mirror on an unrelated receiver is still in scope — the rule keys
+// on the method name, not the receiver type, because anything named
+// Mirror in this package is tap-shaped by convention.
+type auxTap struct{}
+
+func (auxTap) Mirror(n int) {
+	s := fmt.Sprint(n) // want hot-path-alloc
+	_ = s
+}

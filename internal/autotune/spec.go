@@ -1,0 +1,63 @@
+package autotune
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseSpecs parses a comma-separated candidate list in the compact
+// colon form
+//
+//	kind:l1[:l2[:width[:delay]]]
+//
+// e.g. "dfcm:12:10,dfcm:14:12:16,stride:14" — the flag vocabulary of
+// cmd/vpredict and cmd/vpserve folded into one string, for the
+// -autotune-candidates flag. Each spec is validated by building it
+// once; whitespace around entries is ignored and empty entries are
+// rejected (a trailing comma is almost certainly a typo).
+func ParseSpecs(s string) ([]core.Spec, error) {
+	var specs []core.Spec
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			return nil, fmt.Errorf("autotune: empty candidate entry in %q", s)
+		}
+		spec, err := parseSpec(ent)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func parseSpec(ent string) (core.Spec, error) {
+	parts := strings.Split(ent, ":")
+	if len(parts) < 2 || len(parts) > 5 {
+		return core.Spec{}, fmt.Errorf("autotune: candidate %q: want kind:l1[:l2[:width[:delay]]]", ent)
+	}
+	spec := core.Spec{Kind: parts[0]}
+	fields := []struct {
+		name string
+		set  func(uint64)
+	}{
+		{"l1", func(v uint64) { spec.L1 = uint(v) }},
+		{"l2", func(v uint64) { spec.L2 = uint(v) }},
+		{"width", func(v uint64) { spec.Width = uint(v) }},
+		{"delay", func(v uint64) { spec.Delay = int(v) }},
+	}
+	for i, part := range parts[1:] {
+		v, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return core.Spec{}, fmt.Errorf("autotune: candidate %q: %s: %v", ent, fields[i].name, err)
+		}
+		fields[i].set(v)
+	}
+	if _, err := spec.New(); err != nil {
+		return core.Spec{}, fmt.Errorf("autotune: candidate %q: %w", ent, err)
+	}
+	return spec, nil
+}

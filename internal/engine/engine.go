@@ -52,6 +52,15 @@ type Options struct {
 	// must be bit-identical to the default mode; the equivalence
 	// tests in internal/experiments hold the engine to that.
 	Reference bool
+	// FeedSize, when positive, makes each benchmark replay feed its
+	// trace through the streaming core (Stream.Feed) in slices of at
+	// most FeedSize events instead of one call over the whole trace —
+	// the exact input shape the online autotuner produces. Output must
+	// be bit-identical to the one-shot path (state carries across Feed
+	// calls); the streaming-refactor regression pass of
+	// TestEngineEquivalence holds the engine to that. 0 feeds each
+	// trace whole.
+	FeedSize int
 }
 
 // defaultChunk is the replay chunk size: large enough to amortize the
@@ -178,13 +187,29 @@ func (s *Sweep) replayBench(bi int) error {
 	for ji, j := range s.jobs {
 		preds[ji] = j.mk()
 	}
-	results := make([]core.Result, len(s.jobs))
+	var results []core.Result
 	if s.opts.Reference {
+		results = make([]core.Result, len(s.jobs))
 		for ji, p := range preds {
 			results[ji] = core.Run(p, trace.NewReader(tr))
 		}
 	} else {
-		replayChunks(preds, results, tr, s.opts.ChunkSize)
+		// The one-shot offline replay is the streaming core fed the
+		// whole trace: Feed chunks it at ChunkSize internally, so this
+		// is byte-identical to the pre-Stream replayChunks call.
+		st := NewStream(preds, s.opts.ChunkSize)
+		if fs := s.opts.FeedSize; fs > 0 {
+			for start := 0; start < len(tr); start += fs {
+				end := start + fs
+				if end > len(tr) {
+					end = len(tr)
+				}
+				st.Feed(tr[start:end])
+			}
+		} else {
+			st.Feed(tr)
+		}
+		results = st.Finalize()
 	}
 	for ji, j := range s.jobs {
 		j.per[bi] = metrics.BenchResult{Benchmark: bench, Result: results[ji]}

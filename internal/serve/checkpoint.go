@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/snapshot"
 )
 
@@ -17,6 +18,7 @@ import (
 const (
 	opCaptureShard   = 0xF1
 	opRestoreSession = 0xF2
+	opSwapSession    = 0xF3
 )
 
 // sessionCapture pairs a session ID with its frozen snapshot, handed
@@ -49,15 +51,39 @@ func parseCheckpointName(name string) (uint64, bool) {
 	return id, true
 }
 
+// newRestoredSession builds a session around a predictor restored from
+// a snapshot, resuming the lifetime counters where the snapshot left
+// off. override, when non-nil, records the session's own canonical
+// spec (a hot-swapped or spec-adopted session); nil means the engine's
+// Config.Spec.
+func newRestoredSession(p core.Predictor, meta snapshot.Meta, override *core.Spec) *session {
+	sess := &session{p: p}
+	sess.predictions.Store(meta.Predictions)
+	sess.hits.Store(meta.Hits)
+	sess.updates.Store(meta.Updates)
+	if override != nil {
+		ov := override.Canonical()
+		sess.spec.Store(&ov)
+	}
+	return sess
+}
+
 // captureSession freezes one live session. Runs on the shard
 // goroutine, so the predictor state and counters are a consistent
-// point-in-time view with no request in flight.
+// point-in-time view with no request in flight. A session carrying a
+// spec override (hot-swapped by the autotuner) is captured under that
+// spec — its snapshot describes the predictor actually serving, so a
+// warm restart rebuilds the swapped configuration.
 func (e *Engine) captureSession(id uint64, sess *session) (*snapshot.Snapshot, error) {
-	return snapshot.Capture(e.cfg.Spec, sess.p, snapshot.Meta{
+	spec := e.cfg.Spec
+	if ov := sess.spec.Load(); ov != nil {
+		spec = *ov
+	}
+	return snapshot.Capture(spec, sess.p, snapshot.Meta{
 		Session:     id,
-		Predictions: sess.predictions,
-		Hits:        sess.hits,
-		Updates:     sess.updates,
+		Predictions: sess.predictions.Load(),
+		Hits:        sess.hits.Load(),
+		Updates:     sess.updates.Load(),
 	})
 }
 
@@ -91,12 +117,15 @@ func (e *Engine) handleRestoreSession(s *shard, req request) {
 			return
 		}
 		s.sessions[req.session] = req.sess
+		e.sessMu.Lock()
+		e.byID[req.session] = req.sess
+		e.sessMu.Unlock()
 		// Credit the shard counters with the (wrapping) delta between
 		// the replaced session's lifetime totals and the restored ones,
 		// so engine Stats stay continuous across the swap.
-		s.predictions.Add(req.sess.predictions - old.predictions)
-		s.hits.Add(req.sess.hits - old.hits)
-		s.updates.Add(req.sess.updates - old.updates)
+		s.predictions.Add(req.sess.predictions.Load() - old.predictions.Load())
+		s.hits.Add(req.sess.hits.Load() - old.hits.Load())
+		s.updates.Add(req.sess.updates.Load() - old.updates.Load())
 		e.restored.Add(1)
 		req.reply <- response{status: StatusOK}
 		return
@@ -106,13 +135,16 @@ func (e *Engine) handleRestoreSession(s *shard, req request) {
 		return
 	}
 	s.sessions[req.session] = req.sess
+	e.sessMu.Lock()
+	e.byID[req.session] = req.sess
+	e.sessMu.Unlock()
 	e.sessions.Add(1)
 	s.occupancy.Add(1)
 	// Credit the shard counters with the restored lifetime totals so
 	// engine Stats continue from where the checkpoint left off.
-	s.predictions.Add(req.sess.predictions)
-	s.hits.Add(req.sess.hits)
-	s.updates.Add(req.sess.updates)
+	s.predictions.Add(req.sess.predictions.Load())
+	s.hits.Add(req.sess.hits.Load())
+	s.updates.Add(req.sess.updates.Load())
 	e.restored.Add(1)
 	req.reply <- response{status: StatusOK}
 }
@@ -198,21 +230,29 @@ func (e *Engine) LoadCheckpoints() (restored, skipped int, err error) {
 			continue // not ours; leave it alone
 		}
 		snap, rerr := snapshot.ReadFile(filepath.Join(dir, ent.Name()))
-		if rerr != nil || snap.Spec.Canonical() != want {
+		if rerr != nil {
 			skipped++
 			continue
+		}
+		// A snapshot under a different spec is normally a deliberate
+		// cold start (changed boot flags) and is skipped. With
+		// AdoptSnapshotSpecs — the autotuned server, whose sessions
+		// drift from the boot spec by hot-swap — the session is rebuilt
+		// under the snapshot's own spec, recorded as its override.
+		var override *core.Spec
+		if got := snap.Spec.Canonical(); got != want {
+			if !e.cfg.AdoptSnapshotSpecs {
+				skipped++
+				continue
+			}
+			override = &got
 		}
 		p, rerr := snap.Restore()
 		if rerr != nil {
 			skipped++
 			continue
 		}
-		sess := &session{
-			p:           p,
-			predictions: snap.Meta.Predictions,
-			hits:        snap.Meta.Hits,
-			updates:     snap.Meta.Updates,
-		}
+		sess := newRestoredSession(p, snap.Meta, override)
 		resp := e.submitInternal(e.shardFor(id), request{op: opRestoreSession, session: id, sess: sess})
 		if resp.status != StatusOK {
 			skipped++

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,19 @@ type Config struct {
 	// the boot and drain ones. 0 disables the ticker (checkpoint on
 	// drain only). Requires CheckpointDir.
 	CheckpointInterval time.Duration
+	// StatsWindow sizes the per-session windowed accuracy buckets, in
+	// judged lookups (UpdateBatch/RunBatch events): a session's
+	// windowed hit rate covers its last one-to-two windows of judged
+	// traffic. 0 selects 4096.
+	StatsWindow int
+	// AdoptSnapshotSpecs lets LoadCheckpoints warm-start sessions
+	// whose snapshot spec differs from the engine's: the session is
+	// rebuilt under the snapshot's own spec, recorded as its
+	// per-session override — how an autotuned server restores
+	// hot-swapped sessions across a restart. When false (the default),
+	// mismatched snapshots are skipped, preserving the invariant that
+	// changed boot flags mean a deliberate cold start.
+	AdoptSnapshotSpecs bool
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 4096
+	}
+	if c.StatsWindow <= 0 {
+		c.StatsWindow = 4096
 	}
 	return c
 }
@@ -83,6 +100,38 @@ type Stats struct {
 	Checkpoints      uint64 `json:"checkpoints"`       // completed whole-engine sweeps
 	CheckpointErrors uint64 `json:"checkpoint_errors"` // sessions that failed to persist
 	Restored         uint64 `json:"restored_sessions"` // sessions warm-started from disk
+
+	// Swaps counts predictor hot-swaps applied by SwapSession (the
+	// autotuner's promotion path); zero on untuned engines.
+	Swaps uint64 `json:"swaps"`
+
+	// SessionStats lists every live session's accuracy counters,
+	// sorted by session ID. Counters are read with relaxed ordering,
+	// like the engine-level totals.
+	SessionStats []SessionStat `json:"session_stats,omitempty"`
+}
+
+// SessionStat is the per-session slice of a Stats snapshot: lifetime
+// hits/lookups since the session started (surviving checkpoint
+// restores) plus a windowed view over the last one-to-two
+// Config.StatsWindow's worth of judged lookups — the autotuner's
+// scoring input and a per-client accuracy readout on its own. A
+// "judged lookup" is one UpdateBatch or RunBatch event: the predictor
+// was consulted and the prediction compared against the actual value.
+type SessionStat struct {
+	Session     uint64 `json:"session"`
+	Predictions uint64 `json:"predictions"` // PredictBatch + RunBatch lookups
+	Lookups     uint64 `json:"lookups"`     // judged lookups since start
+	Hits        uint64 `json:"hits"`        // correct judged lookups since start
+	HitRate     float64 `json:"hit_rate"`
+	WindowLookups uint64  `json:"window_lookups"`
+	WindowHits    uint64  `json:"window_hits"`
+	WindowHitRate float64 `json:"window_hit_rate"`
+	// Swaps counts this session's predictor hot-swaps; Spec is the
+	// session's canonical predictor spec when it differs from the
+	// engine's (after a swap or an adopted snapshot), nil otherwise.
+	Swaps uint64     `json:"swaps,omitempty"`
+	Spec  *core.Spec `json:"spec,omitempty"`
 }
 
 // ShardStats is the per-shard slice of a Stats snapshot.
@@ -103,6 +152,8 @@ type request struct {
 	out     []uint32 // OpPredictBatch: caller-owned output storage to reuse
 	sess    *session // opRestoreSession: pre-built session to install
 	replace bool     // opRestoreSession: replace an existing live session
+	newP    core.Predictor // opSwapSession: replacement predictor
+	newSpec core.Spec      // opSwapSession: the spec that built newP
 	reply   chan response
 }
 
@@ -115,14 +166,70 @@ type response struct {
 }
 
 // session is the per-client predictor state owned by one shard. The
-// counters are lifetime totals (they survive ResetSession) and are
-// owned by the shard goroutine; checkpoints persist them so a restored
-// session resumes its stats where it left off.
+// predictor itself is only ever touched on the shard goroutine; the
+// counters are atomics because Stats reads them from outside (the
+// shard stays the only writer, so the atomics are a publication
+// mechanism, not a contention point). predictions/hits/updates are
+// lifetime totals (they survive ResetSession); checkpoints persist
+// them so a restored session resumes its stats where it left off.
+//
+// spec, when non-nil, is the canonical predictor spec that built p —
+// set by SwapSession and by spec-adopting warm starts, read by
+// checkpoints and stats. nil means the engine's Config.Spec.
+//
+// The win/prev pairs are the windowed-accuracy buckets: judged
+// lookups land in win, which rotates into prev every
+// Config.StatsWindow lookups, so the windowed hit rate always covers
+// the last one-to-two windows of judged traffic.
 type session struct {
-	p           core.Predictor
-	predictions uint64
-	hits        uint64
-	updates     uint64
+	p    core.Predictor
+	spec atomic.Pointer[core.Spec]
+
+	predictions atomic.Uint64
+	hits        atomic.Uint64
+	updates     atomic.Uint64
+	swaps       atomic.Uint64
+
+	winLookups  atomic.Uint64
+	winHits     atomic.Uint64
+	prevLookups atomic.Uint64
+	prevHits    atomic.Uint64
+}
+
+// judged credits n judged lookups (hits of them correct) to the
+// session's lifetime and windowed counters, rotating the window
+// bucket when it fills. Runs on the shard goroutine (single writer).
+func (s *session) judged(n, hits, window uint64) {
+	s.updates.Add(n)
+	s.hits.Add(hits)
+	s.winHits.Add(hits)
+	if s.winLookups.Add(n) >= window {
+		s.prevLookups.Store(s.winLookups.Load())
+		s.prevHits.Store(s.winHits.Load())
+		s.winLookups.Store(0)
+		s.winHits.Store(0)
+	}
+}
+
+// stat renders the session's counters as one Stats entry.
+func (s *session) stat(id uint64) SessionStat {
+	st := SessionStat{
+		Session:       id,
+		Predictions:   s.predictions.Load(),
+		Lookups:       s.updates.Load(),
+		Hits:          s.hits.Load(),
+		WindowLookups: s.prevLookups.Load() + s.winLookups.Load(),
+		WindowHits:    s.prevHits.Load() + s.winHits.Load(),
+		Swaps:         s.swaps.Load(),
+		Spec:          s.spec.Load(),
+	}
+	if st.Lookups > 0 {
+		st.HitRate = float64(st.Hits) / float64(st.Lookups)
+	}
+	if st.WindowLookups > 0 {
+		st.WindowHitRate = float64(st.WindowHits) / float64(st.WindowLookups)
+	}
+	return st
 }
 
 // shard owns a disjoint set of sessions and processes their requests
@@ -145,9 +252,17 @@ type shard struct {
 type Engine struct {
 	cfg      Config
 	name     string // predictor config name, for stats
+	window   uint64 // Config.StatsWindow, precomputed for the hot path
 	shards   []*shard
 	sessions atomic.Int64 // live sessions across shards
 	dropped  atomic.Uint64
+	swaps    atomic.Uint64
+	tap      atomic.Pointer[Tap] // traffic mirror hook; nil when untapped
+
+	// byID indexes every live session for stats reads; the owning
+	// shard remains the only goroutine touching a session's predictor.
+	sessMu sync.RWMutex
+	byID   map[uint64]*session // vplint:guardedby sessMu
 
 	checkpoints      atomic.Uint64
 	checkpointErrors atomic.Uint64
@@ -192,7 +307,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:    cfg,
 		name:   cfg.NewPredictor().Name(),
+		window: uint64(cfg.StatsWindow),
 		shards: make([]*shard, cfg.Shards),
+		byID:   make(map[uint64]*session),
 		quit:   make(chan struct{}),
 	}
 	for i := range e.shards {
@@ -256,6 +373,9 @@ func (e *Engine) getSession(s *shard, id uint64) *session {
 	}
 	sess := &session{p: e.cfg.NewPredictor()}
 	s.sessions[id] = sess
+	e.sessMu.Lock()
+	e.byID[id] = sess
+	e.sessMu.Unlock()
 	e.sessions.Add(1)
 	s.occupancy.Add(1)
 	return sess
@@ -274,6 +394,9 @@ func (e *Engine) handle(s *shard, req request) {
 		return
 	case OpSnapshotSession:
 		e.handleSnapshotSession(s, req)
+		return
+	case opSwapSession:
+		e.handleSwapSession(s, req)
 		return
 	}
 	sess := e.getSession(s, req.session)
@@ -296,7 +419,7 @@ func (e *Engine) handle(s *shard, req request) {
 		for i, pc := range req.pcs {
 			values[i] = sess.p.Predict(pc)
 		}
-		sess.predictions += uint64(len(req.pcs))
+		sess.predictions.Add(uint64(len(req.pcs)))
 		s.predictions.Add(uint64(len(req.pcs)))
 		req.reply <- response{status: StatusOK, values: values}
 	case OpUpdateBatch:
@@ -304,6 +427,7 @@ func (e *Engine) handle(s *shard, req request) {
 		// any-component-correct Score rule belongs to RunBatch), so only
 		// non-Scorers can take the concrete-type core.RunBatch loop —
 		// for them it is exactly predict-compare-update.
+		seq := sess.updates.Load()
 		var hits uint64
 		if _, ok := sess.p.(core.Scorer); ok {
 			for _, ev := range req.events {
@@ -315,27 +439,42 @@ func (e *Engine) handle(s *shard, req request) {
 		} else {
 			hits = core.RunBatch(sess.p, req.events).Correct
 		}
-		sess.hits += hits
-		sess.updates += uint64(len(req.events))
+		sess.judged(uint64(len(req.events)), hits, e.window)
 		s.hits.Add(hits)
 		s.updates.Add(uint64(len(req.events)))
+		// The mirror must run before the reply: the reply hands the
+		// events storage back to the caller, which may overwrite it.
+		e.mirror(req.session, seq, req.events)
 		req.reply <- response{status: StatusOK}
 	case OpRunBatch:
 		// core.RunBatch mirrors core.Run exactly (Scorer fast path,
 		// concrete-type batch loops), so a served replay stays
 		// bit-equivalent to cmd/vpredict on the same spec while paying
 		// one interface dispatch per batch instead of two per event.
+		seq := sess.updates.Load()
 		hits := uint32(core.RunBatch(sess.p, req.events).Correct)
-		sess.predictions += uint64(len(req.events))
-		sess.hits += uint64(hits)
-		sess.updates += uint64(len(req.events))
+		sess.predictions.Add(uint64(len(req.events)))
+		sess.judged(uint64(len(req.events)), uint64(hits), e.window)
 		s.predictions.Add(uint64(len(req.events)))
 		s.hits.Add(uint64(hits))
 		s.updates.Add(uint64(len(req.events)))
+		e.mirror(req.session, seq, req.events)
 		req.reply <- response{status: StatusOK, hits: hits}
 	case OpResetSession:
+		// A swapped session resets within its own (swapped) spec: the
+		// override is the session's canonical configuration now.
 		if !core.TryReset(sess.p) {
-			sess.p = e.cfg.NewPredictor()
+			if ov := sess.spec.Load(); ov != nil {
+				p, err := ov.New()
+				if err == nil {
+					sess.p = p
+				} else {
+					sess.p = e.cfg.NewPredictor()
+					sess.spec.Store(nil)
+				}
+			} else {
+				sess.p = e.cfg.NewPredictor()
+			}
 		}
 		s.resets.Add(1)
 		req.reply <- response{status: StatusOK}
@@ -480,12 +619,7 @@ func (e *Engine) RestoreSession(sessionID uint64, blob []byte) Status {
 	if err != nil {
 		return StatusBadRequest
 	}
-	sess := &session{
-		p:           p,
-		predictions: snap.Meta.Predictions,
-		hits:        snap.Meta.Hits,
-		updates:     snap.Meta.Updates,
-	}
+	sess := newRestoredSession(p, snap.Meta, nil)
 	return e.submit(request{op: opRestoreSession, session: sessionID, sess: sess, replace: true}).status
 }
 
@@ -501,8 +635,18 @@ func (e *Engine) Snapshot() Stats {
 		Checkpoints:      e.checkpoints.Load(),
 		CheckpointErrors: e.checkpointErrors.Load(),
 		Restored:         e.restored.Load(),
+		Swaps:            e.swaps.Load(),
 		ShardStats:       make([]ShardStats, len(e.shards)),
 	}
+	e.sessMu.RLock()
+	st.SessionStats = make([]SessionStat, 0, len(e.byID))
+	for id, sess := range e.byID {
+		st.SessionStats = append(st.SessionStats, sess.stat(id))
+	}
+	e.sessMu.RUnlock()
+	sort.Slice(st.SessionStats, func(i, j int) bool {
+		return st.SessionStats[i].Session < st.SessionStats[j].Session
+	})
 	for i, s := range e.shards {
 		ss := ShardStats{
 			Sessions:    int(s.occupancy.Load()),
