@@ -96,6 +96,7 @@ bench:
 	    -speedup BenchmarkPredictDFCMDelayed=$(BENCH_DELAYED_BASELINE_NS) \
 	    -speedup BenchmarkPredictPerfectHybrid=$(BENCH_PERFECT_BASELINE_NS) \
 	    -zero BenchmarkEngineReplay \
+	    -zero BenchmarkRunBatchTAGE \
 	    -zero BenchmarkServeDispatchRunBatch \
 	    -zero BenchmarkServeDispatchPredictBatch \
 	    -zero BenchmarkServeMirrorTap

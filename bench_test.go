@@ -106,6 +106,9 @@ func BenchmarkPredictStride(b *testing.B)    { benchPredictor(b, core.NewStride(
 func BenchmarkPredictTwoDelta(b *testing.B)  { benchPredictor(b, core.NewTwoDelta(14)) }
 func BenchmarkPredictFCM(b *testing.B)       { benchPredictor(b, core.NewFCM(14, 12)) }
 func BenchmarkPredictDFCM(b *testing.B)      { benchPredictor(b, core.NewDFCM(14, 12)) }
+func BenchmarkPredictTAGE(b *testing.B) {
+	benchPredictor(b, core.NewTAGE(14, 12, 32, 4, 8, 4, 64))
+}
 func BenchmarkPredictDFCMDelayed(b *testing.B) {
 	benchPredictor(b, core.NewDelayed(core.NewDFCM(14, 12), 64))
 }
@@ -146,6 +149,9 @@ func benchRunBatch(b *testing.B, p core.Predictor) {
 func BenchmarkRunBatchDFCM(b *testing.B)   { benchRunBatch(b, core.NewDFCM(14, 12)) }
 func BenchmarkRunBatchFCM(b *testing.B)    { benchRunBatch(b, core.NewFCM(14, 12)) }
 func BenchmarkRunBatchStride(b *testing.B) { benchRunBatch(b, core.NewStride(14)) }
+func BenchmarkRunBatchTAGE(b *testing.B) {
+	benchRunBatch(b, core.NewTAGE(14, 12, 32, 4, 8, 4, 64))
+}
 
 // --- microbenchmarks: snapshot encode/decode ---
 //

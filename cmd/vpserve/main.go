@@ -9,6 +9,7 @@
 //	vpserve -addr :9177 -predictor dfcm -l1 16 -l2 12
 //	vpserve -addr :9177 -http :9178 -shards 8 -predictor hybrid -l1 14 -l2 12
 //	vpserve -addr :9177 -predictor dfcm -checkpoint-dir /var/lib/vpserve -checkpoint-interval 30s
+//	vpserve -addr :9177 -predictor tage -l1 13 -l2 10 -tables 4 -tag 8 -hmin 4 -hmax 64
 //
 // SIGINT/SIGTERM drain the server gracefully: the listener closes
 // immediately, connected clients are served until they disconnect or
@@ -79,11 +80,15 @@ func parseFlags(fs *flag.FlagSet) *options {
 	o := &options{}
 	fs.StringVar(&o.addr, "addr", ":9177", "TCP listen address for the predictor protocol")
 	fs.StringVar(&o.httpAddr, "http", "", "optional HTTP listen address for JSON stats (empty disables)")
-	fs.StringVar(&o.spec.Kind, "predictor", "dfcm", "lvp | stride | 2delta | fcm | dfcm | hybrid")
+	fs.StringVar(&o.spec.Kind, "predictor", "dfcm", "lvp | stride | 2delta | fcm | dfcm | hybrid | tage")
 	fs.UintVar(&o.spec.L1, "l1", 16, "log2 of the level-1 (or only) table entries")
-	fs.UintVar(&o.spec.L2, "l2", 12, "log2 of the level-2 table entries (fcm/dfcm/hybrid)")
-	fs.UintVar(&o.spec.Width, "width", 32, "stored stride width in bits (dfcm)")
+	fs.UintVar(&o.spec.L2, "l2", 12, "log2 of the level-2 table entries (fcm/dfcm/hybrid); log2 entries per tagged table (tage)")
+	fs.UintVar(&o.spec.Width, "width", 32, "stored stride width in bits (dfcm/tage)")
 	fs.IntVar(&o.spec.Delay, "delay", 0, "update delay in predictions")
+	fs.UintVar(&o.spec.Tables, "tables", 0, "tagged-table count (tage); 0 = default 4")
+	fs.UintVar(&o.spec.Tag, "tag", 0, "partial-tag width in bits (tage); 0 = default 8")
+	fs.UintVar(&o.spec.HistMin, "hmin", 0, "shortest history length in events (tage); 0 = default 4")
+	fs.UintVar(&o.spec.HistMax, "hmax", 0, "longest history length in events (tage); 0 = default 64")
 	fs.IntVar(&o.engine.Shards, "shards", 0, "shard goroutines (0 = GOMAXPROCS)")
 	fs.IntVar(&o.engine.MailboxDepth, "mailbox", 128, "bounded queue depth per shard")
 	fs.IntVar(&o.engine.MaxSessions, "max-sessions", 4096, "live session cap across shards")
@@ -94,7 +99,7 @@ func parseFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.server.MaxFrame, "max-frame", serve.DefaultMaxFrame, "maximum request frame payload in bytes")
 	fs.DurationVar(&o.drain, "drain", 10*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
 	fs.BoolVar(&o.autotune, "autotune", false, "enable the online autotuner (shadow-evaluates -autotune-candidates and hot-swaps winners)")
-	fs.StringVar(&o.atCandidates, "autotune-candidates", "", "comma-separated candidate specs, kind:l1[:l2[:width[:delay]]] (required with -autotune)")
+	fs.StringVar(&o.atCandidates, "autotune-candidates", "", "comma-separated candidate specs, kind:l1[:l2[:width[:delay[:tables[:tag[:hmin[:hmax]]]]]]] (required with -autotune)")
 	fs.StringVar(&o.atObjective, "autotune-objective", "accuracy", "promotion objective: accuracy | efficiency (accuracy per Kbit)")
 	fs.Float64Var(&o.atSample, "autotune-sample", 1, "fraction of training batches mirrored to the tuner, in (0,1]")
 	fs.Uint64Var(&o.atSeed, "autotune-seed", 0, "sampling hash seed (fixed seed = reproducible mirrored subsequence)")

@@ -222,10 +222,12 @@ func TestCheckpointRestart(t *testing.T) {
 func TestAutotuneSwapSmoke(t *testing.T) {
 	leakcheck.Check(t)
 	// Boot a last-value predictor against a strided workload it can
-	// never predict; the DFCM candidate wins decisively.
+	// never predict; the DFCM candidate wins decisively. The tage
+	// candidate (full colon geometry: width:delay:tables:tag:hmin:hmax)
+	// rides along to prove the tagged kind is shadow-scorable.
 	addr, srv, tuner, shutdown := bootServer(t,
 		"-predictor", "lvp", "-l1", "4", "-shards", "2",
-		"-autotune", "-autotune-candidates", "dfcm:8:8,stride:8",
+		"-autotune", "-autotune-candidates", "dfcm:8:8,stride:8,tage:8:6:32:0:4:8:4:32",
 		"-autotune-window", "128")
 	defer shutdown()
 	if tuner == nil {
@@ -254,6 +256,20 @@ func TestAutotuneSwapSmoke(t *testing.T) {
 	ts := tuner.Status()
 	if ts.Swaps < 1 {
 		t.Fatalf("no swap after %d mirrored events (status %+v)", ts.MirroredEvents, ts)
+	}
+	// The tage candidate must be score-eligible: present in the
+	// session's shadow set with judged lookups and a nonzero size (so
+	// both objectives can rank it), even if it did not win this race.
+	tageScored := false
+	for _, ss := range ts.PerSession {
+		for _, sh := range ss.Shadows {
+			if sh.Spec.Kind == "tage" && sh.WindowLookups > 0 && sh.SizeBits > 0 {
+				tageScored = true
+			}
+		}
+	}
+	if !tageScored {
+		t.Fatalf("tage candidate never became score-eligible: %+v", ts.PerSession)
 	}
 	// The engine agrees, through the wire stats op.
 	stats, err := c.Stats()

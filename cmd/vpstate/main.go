@@ -17,7 +17,10 @@
 //
 // diff exits 0 when the two snapshots are equivalent (same canonical
 // spec, counters and state bytes), 1 when they differ, 2 on error —
-// the same contract as diff(1).
+// the same contract as diff(1). For same-geometry tage snapshots the
+// state diff additionally renders per-tagged-table diverging-entry
+// counts, the provider-table-index histograms, and side-by-side
+// usefulness-counter histograms.
 package main
 
 import (
@@ -63,7 +66,12 @@ func usage(w io.Writer) {
 
 // specString renders a spec in the shared flag vocabulary.
 func specString(s core.Spec) string {
-	return fmt.Sprintf("%s l1=%d l2=%d width=%d delay=%d", s.Kind, s.L1, s.L2, s.Width, s.Delay)
+	out := fmt.Sprintf("%s l1=%d l2=%d width=%d delay=%d", s.Kind, s.L1, s.L2, s.Width, s.Delay)
+	if s.Kind == "tage" {
+		c := s.Canonical()
+		out += fmt.Sprintf(" tables=%d tag=%d hmin=%d hmax=%d", c.Tables, c.Tag, c.HistMin, c.HistMax)
+	}
+	return out
 }
 
 func runInspect(files []string, stdout, stderr io.Writer) int {
@@ -187,6 +195,7 @@ func runDiff(files []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
+		diffTAGE(stdout, a, b)
 		differ = true
 	}
 	if differ {
@@ -208,4 +217,46 @@ func tableInfo(s *snapshot.Snapshot) ([]core.TableInfo, bool) {
 		return nil, false
 	}
 	return st.StateTables(), true
+}
+
+// restoreTAGE restores a snapshot and unwraps it to the concrete TAGE
+// predictor (a delayed tage restores to a wrapper, which falls back to
+// the generic rendering above).
+func restoreTAGE(s *snapshot.Snapshot) *core.TAGE {
+	p, err := s.Restore()
+	if err != nil {
+		return nil
+	}
+	t, _ := p.(*core.TAGE)
+	return t
+}
+
+// diffTAGE renders the tagged-geometry view of a state divergence:
+// per-table diverging-entry counts, the two provider-table-index
+// histograms (which table answers for each base slot), and each
+// table's usefulness-counter histogram side by side. Quiet for
+// non-tage or geometry-mismatched snapshots.
+func diffTAGE(stdout io.Writer, a, b *snapshot.Snapshot) {
+	ta, tb := restoreTAGE(a), restoreTAGE(b)
+	if ta == nil || tb == nil {
+		return
+	}
+	div, ok := ta.DivergingEntries(tb)
+	if !ok {
+		return
+	}
+	hists := ta.HistoryLengths()
+	for t, n := range div {
+		if n > 0 {
+			fmt.Fprintf(stdout, "  tagged t%d(h%d): %d diverging entries\n", t+1, hists[t], n)
+		}
+	}
+	fmt.Fprintf(stdout, "  provider histogram (t1..t%d, base): %v | %v\n",
+		ta.NumTables(), ta.ProviderHistogram(), tb.ProviderHistogram())
+	for t := 0; t < ta.NumTables(); t++ {
+		ua, ub := ta.UHistogram(t), tb.UHistogram(t)
+		if ua != ub {
+			fmt.Fprintf(stdout, "  u-counters t%d (u0..u3): %v | %v\n", t+1, ua, ub)
+		}
+	}
 }

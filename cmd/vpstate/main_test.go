@@ -153,3 +153,77 @@ func TestDiff(t *testing.T) {
 		t.Errorf("canonical specs treated as different: exit %d\n%s", code, out)
 	}
 }
+
+// TestInspectTAGE: a tage snapshot renders its geometry in the spec
+// line and its per-table occupancy (base, tagged tables with history
+// lengths, history ring) through StateTabler.
+func TestInspectTAGE(t *testing.T) {
+	dir := t.TempDir()
+	spec := core.Spec{Kind: "tage", L1: 6, L2: 5, Tables: 3, Tag: 8, HistMin: 4, HistMax: 32}
+	path := writeSnap(t, dir, "tage.vps", spec, 600, snapshot.Meta{Session: 3, Predictions: 600, Hits: 200, Updates: 600})
+	code, out, _ := runCmd("inspect", path)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"spec:        tage l1=6 l2=5 width=0 delay=0 tables=3 tag=8 hmin=4 hmax=32",
+		"base", "t1(h4)", "t2(h", "t3(h32)", "hist",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tage inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffTAGE: two same-geometry tage snapshots that diverge in state
+// get the tagged rendering — per-table diverging-entry counts, the
+// provider histograms, and any differing u-counter histograms.
+func TestDiffTAGE(t *testing.T) {
+	dir := t.TempDir()
+	spec := core.Spec{Kind: "tage", L1: 6, L2: 5, Tables: 3, Tag: 8, HistMin: 4, HistMax: 32}
+	meta := snapshot.Meta{Session: 5, Predictions: 400, Hits: 100, Updates: 400}
+	// An alternating-stride stream keeps the base component wrong and
+	// the tagged tables allocating (the plain writeSnap workload is
+	// base-predictable and never dirties them); two different stride
+	// patterns fill the tagged tables with different entries.
+	writeAlt := func(name string, strides []uint32) string {
+		p, err := spec.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := uint32(0)
+		events := make(trace.Trace, 600)
+		for i := range events {
+			v += strides[i%len(strides)]
+			events[i] = trace.Event{PC: 0x500, Value: v}
+		}
+		core.Run(p, trace.NewReader(events))
+		snap, err := snapshot.Capture(spec, p, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := snapshot.WriteFile(path, snap); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	short := writeAlt("short.vps", []uint32{3, 17, 5})
+	long := writeAlt("long.vps", []uint32{9, 2, 25, 7})
+
+	code, out, _ := runCmd("diff", short, long)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"diverging entries", "provider histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tage diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same state → no tagged rendering, just equivalence.
+	same := writeAlt("same.vps", []uint32{3, 17, 5})
+	if code, out, _ := runCmd("diff", short, same); code != 0 {
+		t.Errorf("identical tage snapshots: exit %d\n%s", code, out)
+	}
+}

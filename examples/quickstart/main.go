@@ -43,13 +43,14 @@ func main() {
 		valuepred.NewStride(10),
 		valuepred.NewTwoDelta(10),
 		valuepred.NewFCM(10, 12),
-		valuepred.NewDFCM(10, 12), // the paper's contribution
+		valuepred.NewDFCM(10, 12),                  // the paper's contribution
+		valuepred.NewTAGE(10, 10, 32, 4, 8, 4, 64), // tagged geometric history
 	}
 
-	fmt.Printf("%-16s %12s %10s\n", "predictor", "size(Kbit)", "accuracy")
+	fmt.Printf("%-26s %12s %10s\n", "predictor", "size(Kbit)", "accuracy")
 	for _, p := range predictors {
 		res := valuepred.Run(p, valuepred.NewReader(tr))
-		fmt.Printf("%-16s %12.1f %10.4f\n",
+		fmt.Printf("%-26s %12.1f %10.4f\n",
 			p.Name(), float64(p.SizeBits())/1024, res.Accuracy())
 	}
 

@@ -162,6 +162,21 @@ func TestSnapshotSymmetryFixtureAnywhere(t *testing.T) {
 	runFixture(t, "snapshotsymmetry.go", "repro/internal/elsewhere", SnapshotSymmetry)
 }
 
+// TestHotPathAllocTAGEFixture: the tagged predictor's per-event shape
+// — provider walk, folded-history maintenance, aging sweep — under the
+// same hot-path rules as the flat tables.
+func TestHotPathAllocTAGEFixture(t *testing.T) {
+	runFixture(t, "hotpath_tage.go", "repro/internal/core", HotPathAlloc)
+}
+
+// TestSnapshotSymmetryTAGEFixture seeds the TAGE-specific asymmetries:
+// a dropped history ring, swapped tagged arrays, serialized derived
+// folds, and an orphan capture — each a warm-start divergence the real
+// layout avoids.
+func TestSnapshotSymmetryTAGEFixture(t *testing.T) {
+	runFixture(t, "snapshotsymmetry_tage.go", "repro/internal/core", SnapshotSymmetry)
+}
+
 // TestAnalyzersScopeToTheirPackages: the same violations outside the
 // scoped packages must not be reported — the rules are invariants of
 // specific layers, not global style.

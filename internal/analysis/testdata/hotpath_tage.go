@@ -1,0 +1,101 @@
+// Seeded-violation fixture for the hot-path-alloc analyzer over a
+// TAGE-shaped predictor: tagged SoA tables, folded-history registers,
+// and the per-event method set the real core.TAGE exposes. Loaded with
+// import path "repro/internal/core" — the analyzer anchors on the
+// Predict/Update/RunBatch names, so every tagged-table loop below is
+// in scope while the cold helpers (Name, rebuildFolds) are not.
+package core
+
+import "fmt"
+
+type taggedEvent struct {
+	PC, Value uint32
+}
+
+type vtageHot struct {
+	last    []uint32
+	tags    []uint16
+	strides []uint32
+	fold    []uint32
+	ring    []uint8
+	tick    uint64
+}
+
+func (p *vtageHot) provider(pc uint32) int {
+	for t := len(p.fold) - 1; t >= 0; t-- {
+		if p.tags[(uint32(t)<<4)|(pc&15)] == uint16(pc^p.fold[t]) {
+			return t
+		}
+	}
+	return -1
+}
+
+func (p *vtageHot) Predict(pc uint32) uint32 {
+	t := p.provider(pc)
+	if t < 0 {
+		return p.last[pc&15]
+	}
+	s := fmt.Sprintf("provider t%d", t) // want hot-path-alloc
+	_ = s
+	return p.last[pc&15] + p.strides[(uint32(t)<<4)|(pc&15)]
+}
+
+func (p *vtageHot) Update(pc, v uint32) {
+	defer func() { p.tick++ }() // want hot-path-alloc
+	if p.tick&((1<<18)-1) == 0 {
+		go p.age() // want hot-path-alloc
+	}
+	stride := v - p.last[pc&15]
+	x := any(stride) // want hot-path-alloc
+	_ = x
+	p.ring[p.tick&uint64(len(p.ring)-1)] = uint8(stride)
+	p.last[pc&15] = v
+}
+
+// RunBatch is the concrete-type chunk loop — in scope like the
+// per-event methods it fuses.
+func (p *vtageHot) RunBatch(batch []taggedEvent) uint64 {
+	var correct uint64
+	for i := range batch {
+		e := &batch[i]
+		fmt.Println(e.PC) // want hot-path-alloc
+		if p.Predict(e.PC) == e.Value {
+			correct++
+		}
+		p.Update(e.PC, e.Value)
+	}
+	return correct
+}
+
+// age is a cold maintenance sweep: out of scope by name.
+func (p *vtageHot) age() {
+	for i := range p.tags {
+		p.tags[i] &= 0x7FFF
+	}
+}
+
+// rebuildFolds recomputes the derived registers from the ring; it runs
+// once per restore, not per event, so fmt here is fine.
+func (p *vtageHot) rebuildFolds() {
+	for t := range p.fold {
+		p.fold[t] = 0
+		for i := range p.ring {
+			p.fold[t] ^= uint32(p.ring[i]) << (uint(i) % (uint(t) + 4))
+		}
+	}
+	_ = fmt.Sprintf("rebuilt %d folds", len(p.fold))
+}
+
+func (p *vtageHot) Name() string { return fmt.Sprintf("vtage-hot-%d", len(p.tags)) }
+
+// suppressed proves the escape hatch inside a tagged-table loop.
+type vtageQuiet struct {
+	last []uint32
+}
+
+func (p *vtageQuiet) Predict(pc uint32) uint32 {
+	//lint:ignore hot-path-alloc fixture: debug build only
+	s := fmt.Sprintf("%d", pc)
+	_ = s
+	return p.last[pc&7]
+}

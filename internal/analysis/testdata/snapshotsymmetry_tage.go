@@ -1,0 +1,175 @@
+// Seeded-violation fixture for the snapshot-symmetry analyzer over
+// TAGE-shaped state: base table, tagged SoA arrays, the global
+// history ring, and derived folded-history registers that must be
+// recomputed — never serialized. Each violation below is a warm-start
+// divergence the real core.TAGE layout (last, bstride, tags, strides,
+// conf, ubits, ring, tick) was designed to avoid.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errTageState = errors.New("bad tage state")
+
+// vtageSnap round-trips every serialized field in layout order; the
+// folded registers are derived from the ring, recomputed by a helper
+// after the stream is consumed, so neither method touches them
+// directly and no escape hatch is needed.
+type vtageSnap struct {
+	last []uint32
+	tags []uint16
+	ring []uint8
+	tick uint64
+	fold []uint32
+}
+
+func (p *vtageSnap) AppendState(b []byte) []byte {
+	for _, v := range p.last {
+		b = binary.BigEndian.AppendUint32(b, v)
+	}
+	for _, v := range p.tags {
+		b = binary.BigEndian.AppendUint16(b, v)
+	}
+	b = append(b, p.ring...)
+	return binary.BigEndian.AppendUint64(b, p.tick)
+}
+
+func (p *vtageSnap) RestoreState(data []byte) error {
+	if len(data) != 4*len(p.last)+2*len(p.tags)+len(p.ring)+8 {
+		return errTageState
+	}
+	for i := range p.last {
+		p.last[i] = binary.BigEndian.Uint32(data[4*i:])
+	}
+	data = data[4*len(p.last):]
+	for i := range p.tags {
+		p.tags[i] = binary.BigEndian.Uint16(data[2*i:])
+	}
+	data = data[2*len(p.tags):]
+	copy(p.ring, data)
+	p.tick = binary.BigEndian.Uint64(data[len(p.ring):])
+	p.rebuildFolds()
+	return nil
+}
+
+func (p *vtageSnap) rebuildFolds() {
+	for t := range p.fold {
+		p.fold[t] = 0
+		for i, v := range p.ring {
+			p.fold[t] ^= uint32(v) << (uint(i) % (uint(t) + 4))
+		}
+	}
+}
+
+// vtageRingless serializes the history ring but never restores it: a
+// warm-started predictor computes every folded index from a zeroed
+// history and silently diverges from the session it resumed.
+type vtageRingless struct {
+	last []uint32
+	ring []uint8
+}
+
+func (p *vtageRingless) AppendState(b []byte) []byte {
+	for _, v := range p.last {
+		b = binary.BigEndian.AppendUint32(b, v)
+	}
+	return append(b, p.ring...)
+}
+
+func (p *vtageRingless) RestoreState(data []byte) error { // want snapshot-symmetry
+	if len(data) < 4*len(p.last) {
+		return errTageState
+	}
+	for i := range p.last {
+		p.last[i] = binary.BigEndian.Uint32(data[4*i:])
+	}
+	return nil
+}
+
+// vtageSwapped decodes the tagged arrays in the opposite of the
+// append layout: every tag entry lands in a stride slot and vice
+// versa.
+type vtageSwapped struct {
+	tags    []uint16
+	strides []uint16
+}
+
+func (p *vtageSwapped) AppendState(b []byte) []byte {
+	for _, v := range p.tags {
+		b = binary.BigEndian.AppendUint16(b, v)
+	}
+	for _, v := range p.strides {
+		b = binary.BigEndian.AppendUint16(b, v)
+	}
+	return b
+}
+
+func (p *vtageSwapped) RestoreState(data []byte) error { // want snapshot-symmetry
+	if len(data) != 2*len(p.strides)+2*len(p.tags) {
+		return errTageState
+	}
+	for i := range p.strides {
+		p.strides[i] = binary.BigEndian.Uint16(data[2*i:])
+	}
+	data = data[2*len(p.strides):]
+	for i := range p.tags {
+		p.tags[i] = binary.BigEndian.Uint16(data[2*i:])
+	}
+	return nil
+}
+
+// vtageFoldCarrier serializes the derived folded registers: capture
+// works, but the restored folds go stale the moment the ring layout
+// changes, so the stream carries bytes RestoreState never consumes.
+type vtageFoldCarrier struct {
+	ring []uint8
+	fold []uint32
+}
+
+func (p *vtageFoldCarrier) AppendState(b []byte) []byte {
+	b = append(b, p.ring...)
+	for _, v := range p.fold {
+		b = binary.BigEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+func (p *vtageFoldCarrier) RestoreState(data []byte) error { // want snapshot-symmetry
+	if len(data) < len(p.ring) {
+		return errTageState
+	}
+	copy(p.ring, data)
+	return nil
+}
+
+// vtageOrphanCapture captures tagged state nothing can ever resume.
+type vtageOrphanCapture struct {
+	ubits []uint8
+}
+
+func (p *vtageOrphanCapture) AppendState(b []byte) []byte { // want snapshot-symmetry
+	return append(b, p.ubits...)
+}
+
+// vtageInline proves the escape hatch for derived state recomputed in
+// the restore body itself rather than a helper.
+type vtageInline struct {
+	ring []uint8
+	pos  uint32
+}
+
+func (p *vtageInline) AppendState(b []byte) []byte {
+	return append(b, p.ring...)
+}
+
+//lint:ignore snapshot-symmetry fixture: pos is derived from the ring, not serialized
+func (p *vtageInline) RestoreState(data []byte) error {
+	if len(data) != len(p.ring) {
+		return errTageState
+	}
+	copy(p.ring, data)
+	p.pos = uint32(len(p.ring) - 1)
+	return nil
+}

@@ -11,13 +11,16 @@ import (
 // ParseSpecs parses a comma-separated candidate list in the compact
 // colon form
 //
-//	kind:l1[:l2[:width[:delay]]]
+//	kind:l1[:l2[:width[:delay[:tables[:tag[:hmin[:hmax]]]]]]]
 //
-// e.g. "dfcm:12:10,dfcm:14:12:16,stride:14" — the flag vocabulary of
-// cmd/vpredict and cmd/vpserve folded into one string, for the
-// -autotune-candidates flag. Each spec is validated by building it
-// once; whitespace around entries is ignored and empty entries are
-// rejected (a trailing comma is almost certainly a typo).
+// e.g. "dfcm:12:10,dfcm:14:12:16,stride:14,tage:10:8:32:0:4:8:4:64" —
+// the flag vocabulary of cmd/vpredict and cmd/vpserve folded into one
+// string, for the -autotune-candidates flag. The last four positions
+// are the tage geometry (table count, tag width, shortest/longest
+// history); zero anywhere means that kind's default. Each spec is
+// validated by building it once; whitespace around entries is ignored
+// and empty entries are rejected (a trailing comma is almost certainly
+// a typo).
 func ParseSpecs(s string) ([]core.Spec, error) {
 	var specs []core.Spec
 	for _, ent := range strings.Split(s, ",") {
@@ -36,25 +39,36 @@ func ParseSpecs(s string) ([]core.Spec, error) {
 
 func parseSpec(ent string) (core.Spec, error) {
 	parts := strings.Split(ent, ":")
-	if len(parts) < 2 || len(parts) > 5 {
-		return core.Spec{}, fmt.Errorf("autotune: candidate %q: want kind:l1[:l2[:width[:delay]]]", ent)
+	if len(parts) < 2 || len(parts) > 9 {
+		return core.Spec{}, fmt.Errorf("autotune: candidate %q: want kind:l1[:l2[:width[:delay[:tables[:tag[:hmin[:hmax]]]]]]]", ent)
 	}
 	spec := core.Spec{Kind: parts[0]}
 	fields := []struct {
 		name string
+		bits int // ParseUint width: history lengths outgrow a byte
 		set  func(uint64)
 	}{
-		{"l1", func(v uint64) { spec.L1 = uint(v) }},
-		{"l2", func(v uint64) { spec.L2 = uint(v) }},
-		{"width", func(v uint64) { spec.Width = uint(v) }},
-		{"delay", func(v uint64) { spec.Delay = int(v) }},
+		{"l1", 8, func(v uint64) { spec.L1 = uint(v) }},
+		{"l2", 8, func(v uint64) { spec.L2 = uint(v) }},
+		{"width", 8, func(v uint64) { spec.Width = uint(v) }},
+		{"delay", 8, func(v uint64) { spec.Delay = int(v) }},
+		{"tables", 8, func(v uint64) { spec.Tables = uint(v) }},
+		{"tag", 8, func(v uint64) { spec.Tag = uint(v) }},
+		{"hmin", 16, func(v uint64) { spec.HistMin = uint(v) }},
+		{"hmax", 16, func(v uint64) { spec.HistMax = uint(v) }},
 	}
 	for i, part := range parts[1:] {
-		v, err := strconv.ParseUint(part, 10, 8)
+		v, err := strconv.ParseUint(part, 10, fields[i].bits)
 		if err != nil {
 			return core.Spec{}, fmt.Errorf("autotune: candidate %q: %s: %v", ent, fields[i].name, err)
 		}
 		fields[i].set(v)
+	}
+	// The geometry positions only mean something to tage; a nonzero
+	// value there under any other kind is a misplaced field, not a
+	// harmless extra.
+	if spec.Kind != "tage" && (spec.Tables != 0 || spec.Tag != 0 || spec.HistMin != 0 || spec.HistMax != 0) {
+		return core.Spec{}, fmt.Errorf("autotune: candidate %q: tables/tag/hmin/hmax apply only to tage", ent)
 	}
 	if _, err := spec.New(); err != nil {
 		return core.Spec{}, fmt.Errorf("autotune: candidate %q: %w", ent, err)

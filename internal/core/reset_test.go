@@ -43,6 +43,8 @@ func resettables() map[string]func() Predictor {
 		"counter":  func() Predictor { return NewCounterConfidence(NewDFCM(8, 10), 8, 7, 4) },
 		"hashtag":  func() Predictor { return NewHashTag(NewDFCM(8, 10), 8, 3) },
 		"classify": func() Predictor { return NewClassified(8, 16, 8, NewStride(8), NewFCM(8, 10)) },
+		"tage":     func() Predictor { return NewTAGE(8, 6, 32, 4, 8, 4, 64) },
+		"tage-w8":  func() Predictor { return NewTAGE(8, 6, 8, 3, 10, 2, 32) },
 	}
 }
 

@@ -35,6 +35,7 @@ func TestRunBatchChunksEqualRun(t *testing.T) {
 		"dfcm":    func() Predictor { return NewDFCM(8, 10) },
 		"delayed": func() Predictor { return NewDelayed(NewDFCM(8, 10), 32) },
 		"perfect": func() Predictor { return NewPerfectHybrid(NewStride(8), NewFCM(8, 10)) },
+		"tage":    func() Predictor { return NewTAGE(8, 6, 32, 4, 8, 4, 64) },
 	}
 	for name, mk := range mks {
 		want := Run(mk(), trace.NewReader(tr))
@@ -112,6 +113,10 @@ func TestRunBatchConcreteMatchesGeneric(t *testing.T) {
 			d := NewDFCM(8, 10)
 			return NewCombined(d, NewHashTag(d, 6, 7), NewCounterConfidence(d, 6, 15, 4))
 		},
+		"tage":         func() Predictor { return NewTAGE(8, 6, 32, 4, 8, 4, 64) },
+		"tage-w8":      func() Predictor { return NewTAGE(8, 6, 8, 3, 10, 2, 32) },
+		"tage-1table":  func() Predictor { return NewTAGE(8, 6, 32, 1, 8, 16, 16) },
+		"tage-delayed": func() Predictor { return NewDelayed(NewTAGE(8, 6, 32, 4, 8, 4, 64), 32) },
 	}
 	for name, mk := range mks {
 		concrete, generic := mk(), mk()

@@ -9,11 +9,18 @@ import "fmt"
 // exact same predictor — the property the end-to-end equivalence test
 // relies on.
 type Spec struct {
-	Kind  string // lvp | stride | 2delta | fcm | dfcm | hybrid
+	Kind  string // lvp | stride | 2delta | fcm | dfcm | hybrid | tage
 	L1    uint   // log2 of the level-1 (or only) table entries
-	L2    uint   // log2 of the level-2 table entries (fcm/dfcm/hybrid)
-	Width uint   // stored stride width in bits (dfcm); 0 means 32
+	L2    uint   // log2 of the level-2 table entries (fcm/dfcm/hybrid); log2 entries per tagged table (tage)
+	Width uint   // stored stride width in bits (dfcm/tage); 0 means 32
 	Delay int    // update delay in predictions; 0 disables
+
+	// TAGE-only geometry (-tables/-tag/-hmin/-hmax). Zero means the
+	// kind's default; Canonical zeroes them for every other kind.
+	Tables  uint // tagged-table count; 0 means 4
+	Tag     uint // partial-tag width in bits; 0 means 8
+	HistMin uint // shortest history length in events; 0 means 4
+	HistMax uint // longest history length in events; 0 means 64
 }
 
 // Canonical returns the spec with fields the kind ignores zeroed and
@@ -30,6 +37,25 @@ func (s Spec) Canonical() Spec {
 		if s.Width == 0 {
 			s.Width = 32
 		}
+	case "tage":
+		if s.Width == 0 {
+			s.Width = 32
+		}
+		if s.Tables == 0 {
+			s.Tables = 4
+		}
+		if s.Tag == 0 {
+			s.Tag = 8
+		}
+		if s.HistMin == 0 {
+			s.HistMin = 4
+		}
+		if s.HistMax == 0 {
+			s.HistMax = 64
+		}
+	}
+	if s.Kind != "tage" {
+		s.Tables, s.Tag, s.HistMin, s.HistMax = 0, 0, 0, 0
 	}
 	return s
 }
@@ -50,6 +76,11 @@ func (s Spec) New() (Predictor, error) {
 	// so reject it here where inputs come from flags or the network.
 	if s.L2 == 0 && (s.Kind == "fcm" || s.Kind == "dfcm" || s.Kind == "hybrid") {
 		return nil, fmt.Errorf("%s needs a level-2 width in [1,30]", s.Kind)
+	}
+	// tage indexes its tagged tables with L2 bits the same way; zero
+	// tagged entries is meaningless.
+	if s.L2 == 0 && s.Kind == "tage" {
+		return nil, fmt.Errorf("tage needs a tagged-table width in [1,30]")
 	}
 	width := s.Width
 	if width == 0 {
@@ -75,6 +106,18 @@ func (s Spec) New() (Predictor, error) {
 		p = NewDFCMWidth(s.L1, s.L2, width)
 	case "hybrid":
 		p = NewPerfectHybrid(NewStride(s.L1), NewFCM(s.L1, s.L2))
+	case "tage":
+		c := s.Canonical()
+		if c.Tables > TAGEMaxTables {
+			return nil, fmt.Errorf("tage table count %d out of range [1,%d]", c.Tables, TAGEMaxTables)
+		}
+		if c.Tag < 4 || c.Tag > 16 {
+			return nil, fmt.Errorf("tage tag width %d out of range [4,16]", c.Tag)
+		}
+		if c.HistMax > TAGEMaxHist || c.HistMin > c.HistMax {
+			return nil, fmt.Errorf("tage history series %d..%d out of range [1,%d]", c.HistMin, c.HistMax, TAGEMaxHist)
+		}
+		p = NewTAGE(c.L1, c.L2, width, int(c.Tables), c.Tag, c.HistMin, c.HistMax)
 	default:
 		return nil, fmt.Errorf("unknown predictor %q", s.Kind)
 	}

@@ -18,6 +18,9 @@ func TestSpecNewNames(t *testing.T) {
 		{Spec{Kind: "dfcm", L1: 10, L2: 8, Width: 8}, "dfcm-2^10/2^8/w8"},
 		{Spec{Kind: "hybrid", L1: 10, L2: 8}, "perfect(stride-2^10+fcm-2^10/2^8)"},
 		{Spec{Kind: "dfcm", L1: 10, L2: 8, Delay: 64}, "dfcm-2^10/2^8@delay64"},
+		{Spec{Kind: "tage", L1: 10, L2: 8}, "tage-2^10+4x2^8/t8/h4..64"},
+		{Spec{Kind: "tage", L1: 10, L2: 8, Width: 8, Tables: 6, Tag: 10, HistMin: 2, HistMax: 128},
+			"tage-2^10+6x2^8/t10/h2..128/w8"},
 	}
 	for _, c := range cases {
 		p, err := c.spec.New()
@@ -52,7 +55,7 @@ func TestSpecNewErrors(t *testing.T) {
 // TestSpecBuiltAreResettable: every predictor a Spec can build must be
 // recyclable in place — internal/serve depends on it.
 func TestSpecBuiltAreResettable(t *testing.T) {
-	for _, kind := range []string{"lvp", "stride", "2delta", "fcm", "dfcm", "hybrid"} {
+	for _, kind := range []string{"lvp", "stride", "2delta", "fcm", "dfcm", "hybrid", "tage"} {
 		p, err := Spec{Kind: kind, L1: 8, L2: 8, Delay: 4}.New()
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
@@ -70,12 +73,18 @@ func TestSpecNewBoundaries(t *testing.T) {
 	// (L1/L2 = 30) are legal but allocate gigabyte tables, so the
 	// range ends are exercised on the rejection side only.
 	accept := []Spec{
-		{Kind: "lvp", L1: 0},                     // zero-entry table degenerates to 1 entry
-		{Kind: "fcm", L1: 0, L2: 1},              // both levels minimal
-		{Kind: "dfcm", L1: 10, L2: 8, Width: 1},  // narrowest stride
-		{Kind: "dfcm", L1: 10, L2: 8, Width: 32}, // widest stride
-		{Kind: "2delta", L1: 10, Delay: 1 << 20}, // huge but legal delay
-		{Kind: "hybrid", L1: 0, L2: 1},           // minimal hybrid
+		{Kind: "lvp", L1: 0},                                               // zero-entry table degenerates to 1 entry
+		{Kind: "fcm", L1: 0, L2: 1},                                        // both levels minimal
+		{Kind: "dfcm", L1: 10, L2: 8, Width: 1},                            // narrowest stride
+		{Kind: "dfcm", L1: 10, L2: 8, Width: 32},                           // widest stride
+		{Kind: "2delta", L1: 10, Delay: 1 << 20},                           // huge but legal delay
+		{Kind: "hybrid", L1: 0, L2: 1},                                     // minimal hybrid
+		{Kind: "tage", L1: 8, L2: 1},                                       // minimal tagged tables, default geometry
+		{Kind: "tage", L1: 8, L2: 6, Tables: 1, HistMin: 64, HistMax: 64},  // N=1 degenerate series
+		{Kind: "tage", L1: 8, L2: 6, Tables: 6, HistMin: 16, HistMax: 16},  // equal-length series
+		{Kind: "tage", L1: 8, L2: 6, Tables: 12, HistMin: 1, HistMax: 128}, // max tables + max history
+		{Kind: "tage", L1: 8, L2: 6, Tag: 4},                               // narrowest tag
+		{Kind: "tage", L1: 8, L2: 6, Tag: 16, Width: 1},                    // widest tag, narrowest stride
 	}
 	for _, s := range accept {
 		if _, err := s.New(); err != nil {
@@ -93,9 +102,16 @@ func TestSpecNewBoundaries(t *testing.T) {
 		{Spec{Kind: "hybrid", L1: 10, L2: 0}, "level-2"},
 		{Spec{Kind: "dfcm", L1: 10, L2: 8, Width: 33}, "stride width"},
 		{Spec{Kind: "stride", L1: 10, Delay: -1}, "delay"},
-		{Spec{}, "unknown predictor"},                // zero value
+		{Spec{Kind: "tage", L1: 10, L2: 0}, "tagged-table"},
+		{Spec{Kind: "tage", L1: 10, L2: 6, Tables: 13}, "table count"},
+		{Spec{Kind: "tage", L1: 10, L2: 6, Tag: 3}, "tag width"},
+		{Spec{Kind: "tage", L1: 10, L2: 6, Tag: 17}, "tag width"},
+		{Spec{Kind: "tage", L1: 10, L2: 6, HistMax: 129}, "history series"},
+		{Spec{Kind: "tage", L1: 10, L2: 6, HistMin: 65}, "history series"}, // min above default max
+		{Spec{Kind: "tage", L1: 10, L2: 6, Width: 33}, "stride width"},
+		{Spec{}, "unknown predictor"},                            // zero value
 		{Spec{Kind: "DFCM", L1: 10, L2: 8}, "unknown predictor"}, // kinds are case-sensitive
-		{Spec{Kind: "lvp", L1: ^uint(0)}, "level-1"}, // wraparound-sized table
+		{Spec{Kind: "lvp", L1: ^uint(0)}, "level-1"},             // wraparound-sized table
 	}
 	for _, c := range reject {
 		p, err := c.spec.New()
@@ -117,7 +133,7 @@ func TestSpecNewNeverPanics(t *testing.T) {
 	// Valid size values stay small (10/8) so accepted specs allocate
 	// kilobytes; the interesting cases are the out-of-range ones,
 	// which must error before any allocation happens.
-	kinds := []string{"", "lvp", "stride", "2delta", "fcm", "dfcm", "hybrid", "nonsense"}
+	kinds := []string{"", "lvp", "stride", "2delta", "fcm", "dfcm", "hybrid", "tage", "nonsense"}
 	l1s := []uint{0, 10, 31, 64, ^uint(0)}
 	l2s := []uint{0, 8, 31, ^uint(0)}
 	widths := []uint{0, 1, 32, 33, ^uint(0)}
@@ -143,6 +159,54 @@ func TestSpecNewNeverPanics(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSpecNewNeverPanicsTAGEGeometry sweeps the tage-only fields over
+// their edges and past them, including every degenerate history series
+// (single table, equal lengths, maximal lengths, inverted ranges):
+// Spec.New must return exactly one of (predictor, error) and never
+// panic, whatever the geometry.
+func TestSpecNewNeverPanicsTAGEGeometry(t *testing.T) {
+	tables := []uint{0, 1, 2, 12, 13, 255, ^uint(0)}
+	tagsW := []uint{0, 3, 4, 16, 17, ^uint(0)}
+	hmins := []uint{0, 1, 16, 64, 128, 129, ^uint(0)}
+	hmaxs := []uint{0, 1, 16, 64, 128, 129, ^uint(0)}
+	for _, n := range tables {
+		for _, tg := range tagsW {
+			for _, lo := range hmins {
+				for _, hi := range hmaxs {
+					s := Spec{Kind: "tage", L1: 6, L2: 4, Tables: n, Tag: tg, HistMin: lo, HistMax: hi}
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								t.Fatalf("%+v panicked: %v", s, r)
+							}
+						}()
+						p, err := s.New()
+						if (p == nil) == (err == nil) {
+							t.Fatalf("%+v: predictor %v, err %v — exactly one must be set", s, p, err)
+						}
+					}()
+				}
+			}
+		}
+	}
+}
+
+// TestSpecCanonicalTAGE pins the tage defaults and that every other
+// kind zeroes the tage-only fields, so canonical-spec comparison
+// (checkpoint warm-start, vpstate diff) ignores stray geometry on
+// non-tage specs.
+func TestSpecCanonicalTAGE(t *testing.T) {
+	got := Spec{Kind: "tage", L1: 10, L2: 8}.Canonical()
+	want := Spec{Kind: "tage", L1: 10, L2: 8, Width: 32, Tables: 4, Tag: 8, HistMin: 4, HistMax: 64}
+	if got != want {
+		t.Errorf("tage canonical = %+v, want %+v", got, want)
+	}
+	off := Spec{Kind: "dfcm", L1: 10, L2: 8, Tables: 6, Tag: 12, HistMin: 2, HistMax: 99}.Canonical()
+	if off.Tables != 0 || off.Tag != 0 || off.HistMin != 0 || off.HistMax != 0 {
+		t.Errorf("dfcm canonical kept tage fields: %+v", off)
 	}
 }
 

@@ -135,3 +135,35 @@ func TestExtPredictabilityRun(t *testing.T) {
 		}
 	}
 }
+
+func TestExtTAGERun(t *testing.T) {
+	cfg := Config{Budget: 120_000, Benchmarks: []string{"li", "m88ksim"}}
+	res, err := runExtTAGE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One per-benchmark table per tier plus the summary.
+	if len(res.Tables) != len(tageTiers)+1 {
+		t.Fatalf("ext-tage has %d tables, want %d", len(res.Tables), len(tageTiers)+1)
+	}
+	for i := range tageTiers {
+		if got := len(res.Tables[i].Rows); got != len(cfg.Benchmarks) {
+			t.Errorf("tier %d has %d benchmark rows, want %d", i, got, len(cfg.Benchmarks))
+		}
+	}
+	sum := res.Tables[len(tageTiers)]
+	if len(sum.Rows) != 2*len(tageTiers) {
+		t.Fatalf("summary has %d rows, want %d", len(sum.Rows), 2*len(tageTiers))
+	}
+	// Matched budgets: each tier's two sizes must agree within 5%.
+	for i := 0; i < len(sum.Rows); i += 2 {
+		d := cellFloat(t, sum.Rows[i][2])
+		g := cellFloat(t, sum.Rows[i+1][2])
+		if d <= 0 || g <= 0 || g/d > 1.05 || d/g > 1.05 {
+			t.Errorf("tier %s: sizes %v vs %v Kbit not matched", sum.Rows[i][0], d, g)
+		}
+		if cellFloat(t, sum.Rows[i][4]) <= 0 || cellFloat(t, sum.Rows[i+1][4]) <= 0 {
+			t.Errorf("tier %s: non-positive acc/Kbit", sum.Rows[i][0])
+		}
+	}
+}

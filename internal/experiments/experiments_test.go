@@ -15,7 +15,7 @@ var testCfg = Config{Budget: 200_000}
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-hash", "ablation-index", "ablation-meta", "ablation-order",
-		"ext-confidence", "ext-ilp", "ext-loads", "ext-predictability", "ext-relatedwork",
+		"ext-confidence", "ext-ilp", "ext-loads", "ext-predictability", "ext-relatedwork", "ext-tage",
 		"fig10a", "fig10b", "fig11a", "fig11b", "fig12", "fig13",
 		"fig14", "fig16", "fig17", "fig3", "fig4", "fig6", "fig8",
 		"fig9", "sec44", "table1",

@@ -110,6 +110,64 @@ func TestCheckpointDrainAndWarmStart(t *testing.T) {
 	}
 }
 
+// TestCheckpointWarmStartTAGE re-runs the drain/warm-start equivalence
+// for the tagged predictor, on a workload that keeps its tagged tables
+// and global history hot — the restart only survives if the serialized
+// ring and rebuilt folded registers are exact, not just the tables.
+func TestCheckpointWarmStartTAGE(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	spec := core.Spec{Kind: "tage", L1: 7, L2: 6, Tables: 4, Tag: 8, HistMin: 4, HistMax: 64}
+	// Alternating strides per PC: base-unpredictable, history-determined.
+	events := make(trace.Trace, 4000)
+	vals := [2]uint32{}
+	strides := [][]uint32{{3, 17}, {9, 2, 25}}
+	for i := range events {
+		w := i % 2
+		vals[w] += strides[w][(i/2)%len(strides[w])]
+		events[i] = trace.Event{PC: 0x3000 + uint32(4*w), Value: vals[w]}
+	}
+	const cut = 2600
+
+	e1, err := NewEngine(Config{Spec: spec, Shards: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st := e1.RunBatch(5, events[:cut]); st != StatusOK {
+		t.Fatalf("warm RunBatch: %v", st)
+	}
+	e1.Close()
+
+	e2, err := NewEngine(Config{Spec: spec, Shards: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if restored, skipped, err := e2.LoadCheckpoints(); err != nil || restored != 1 || skipped != 0 {
+		t.Fatalf("LoadCheckpoints = (%d, %d, %v)", restored, skipped, err)
+	}
+
+	p, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(p, trace.NewReader(events[:cut]))
+	wantHits := uint32(0)
+	for _, ev := range events[cut:] {
+		if p.Predict(ev.PC) == ev.Value {
+			wantHits++
+		}
+		p.Update(ev.PC, ev.Value)
+	}
+	hits, st := e2.RunBatch(5, events[cut:])
+	if st != StatusOK {
+		t.Fatalf("post-restart RunBatch: %v", st)
+	}
+	if hits != wantHits {
+		t.Errorf("post-restart tail: %d hits, uninterrupted run scores %d", hits, wantHits)
+	}
+}
+
 // TestSnapshotSessionOp exercises the wire-visible capture path: the
 // blob must decode to the engine's spec, the session's counters, and a
 // predictor equivalent to the live one.

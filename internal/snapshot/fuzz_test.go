@@ -2,6 +2,8 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"repro/internal/core"
@@ -21,6 +23,7 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		{Kind: "lvp", L1: 3},
 		{Kind: "dfcm", L1: 3, L2: 4},
 		{Kind: "hybrid", L1: 3, L2: 4, Delay: 2},
+		{Kind: "tage", L1: 3, L2: 3, Tables: 2, Tag: 5, HistMin: 2, HistMax: 8},
 	} {
 		p, err := spec.New()
 		if err != nil {
@@ -36,6 +39,23 @@ func FuzzDecodeSnapshot(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+		if spec.Kind == "tage" {
+			// Deep tage-shaped corruptions: a frame truncated inside the
+			// spec-extension section, and a checksum-valid frame whose
+			// extension claims a table count Spec.New must reject
+			// (13 > core.TAGEMaxTables) — that one decodes cleanly and
+			// fails only at Restore, exercising the validation seam.
+			full := buf.Bytes()
+			// Layout: header, spec section (payload 1+len("tage")+3+4 =
+			// 12 bytes), then the specx section; its payload starts after
+			// that second section header.
+			specxPayload := headerSize + sectionSize + 12 + sectionSize
+			f.Add(full[:specxPayload+3]) // cut mid-extension
+			bad := append([]byte(nil), full...)
+			bad[specxPayload] = 13 // tables byte
+			binary.BigEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+			f.Add(bad)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x56, 0x50, 0x53, 0x53, 0x00, 0x01, 0x00, 0x00})

@@ -27,9 +27,14 @@
 //	spec  (0x01) kindLen u8, kind bytes, l1 u8, l2 u8, width u8, delay u32
 //	meta  (0x02) session u64, predictions u64, hits u64, updates u64
 //	state (0x03) raw core.Snapshotter state bytes
+//	specx (0x04) tables u8, tag u8, hmin u16, hmax u16 — the tagged-
+//	             predictor geometry fields added with the tage kind.
+//	             Written only when some field is nonzero, exactly the
+//	             "minor extension = new optional section" rule below:
+//	             pre-tage readers skip it, pre-tage files omit it.
 //
-// spec and state are required; meta is optional. Sections appear at
-// most once each.
+// spec and state are required; meta and specx are optional. Sections
+// appear at most once each.
 //
 // # Versioning rules
 //
@@ -76,6 +81,7 @@ const (
 	secSpec  = 0x01
 	secMeta  = 0x02
 	secState = 0x03
+	secSpecX = 0x04
 	secEnd   = 0xFF
 )
 
@@ -183,6 +189,13 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	if err := writeSection(cw, secSpec, spec); err != nil {
 		return err
 	}
+	if specx, err := encodeSpecExt(s.Spec); err != nil {
+		return err
+	} else if specx != nil {
+		if err := writeSection(cw, secSpecX, specx); err != nil {
+			return err
+		}
+	}
 	if err := writeSection(cw, secMeta, encodeMeta(s.Meta)); err != nil {
 		return err
 	}
@@ -243,6 +256,7 @@ func DecodeMax(r io.Reader, maxSection int) (*Snapshot, error) {
 	}
 
 	s := &Snapshot{Version: version}
+	var ext specExt
 	seen := make(map[byte]bool)
 	for {
 		var sh [sectionSize]byte
@@ -273,7 +287,7 @@ func DecodeMax(r io.Reader, maxSection int) (*Snapshot, error) {
 		}
 		seen[kind] = true
 		switch kind {
-		case secSpec, secMeta, secState:
+		case secSpec, secMeta, secState, secSpecX:
 			payload := make([]byte, length)
 			if _, err := io.ReadFull(cr, payload); err != nil {
 				return nil, fmt.Errorf("snapshot: reading %d-byte section %#x: %w", length, kind, err)
@@ -286,6 +300,8 @@ func DecodeMax(r io.Reader, maxSection int) (*Snapshot, error) {
 				s.Meta, err = decodeMeta(payload)
 			case secState:
 				s.State = payload
+			case secSpecX:
+				ext, err = decodeSpecExt(payload)
 			}
 			if err != nil {
 				return nil, err
@@ -304,7 +320,47 @@ func DecodeMax(r io.Reader, maxSection int) (*Snapshot, error) {
 	if !seen[secState] {
 		return nil, fmt.Errorf("%w: state", ErrMissingSection)
 	}
+	// The extension section merges after the loop, so its effect does
+	// not depend on section order.
+	s.Spec.Tables, s.Spec.Tag = ext.tables, ext.tag
+	s.Spec.HistMin, s.Spec.HistMax = ext.hmin, ext.hmax
 	return s, nil
+}
+
+// specExt is the decoded 0x04 section: the Spec fields that postdate
+// the version-1 spec layout.
+type specExt struct {
+	tables, tag, hmin, hmax uint
+}
+
+// encodeSpecExt serializes the extended geometry fields, or returns
+// nil when all are zero (the section is omitted and the file stays
+// readable by pre-tage builds).
+func encodeSpecExt(spec core.Spec) ([]byte, error) {
+	if spec.Tables == 0 && spec.Tag == 0 && spec.HistMin == 0 && spec.HistMax == 0 {
+		return nil, nil
+	}
+	if spec.Tables > math.MaxUint8 || spec.Tag > math.MaxUint8 ||
+		spec.HistMin > math.MaxUint16 || spec.HistMax > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: spec extension field out of field width", ErrCorrupt)
+	}
+	b := make([]byte, 0, 6)
+	b = append(b, byte(spec.Tables), byte(spec.Tag))
+	b = binary.BigEndian.AppendUint16(b, uint16(spec.HistMin))
+	return binary.BigEndian.AppendUint16(b, uint16(spec.HistMax)), nil
+}
+
+// decodeSpecExt parses a spec-extension section.
+func decodeSpecExt(p []byte) (specExt, error) {
+	if len(p) != 6 {
+		return specExt{}, fmt.Errorf("%w: spec extension section is %d bytes, want 6", ErrCorrupt, len(p))
+	}
+	return specExt{
+		tables: uint(p[0]),
+		tag:    uint(p[1]),
+		hmin:   uint(binary.BigEndian.Uint16(p[2:])),
+		hmax:   uint(binary.BigEndian.Uint16(p[4:])),
+	}, nil
 }
 
 // encodeSpec serializes a core.Spec. The numeric fields are validated

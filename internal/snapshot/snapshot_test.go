@@ -48,6 +48,8 @@ func specs() []core.Spec {
 		{Kind: "hybrid", L1: 7, L2: 9},
 		{Kind: "lvp", L1: 6, Delay: 4},
 		{Kind: "dfcm", L1: 6, L2: 8, Delay: 6},
+		{Kind: "tage", L1: 6, L2: 5, Tables: 4, Tag: 8, HistMin: 4, HistMax: 64},
+		{Kind: "tage", L1: 5, L2: 4, Width: 8, Tables: 3, Tag: 6, HistMin: 2, HistMax: 32, Delay: 3},
 	}
 }
 

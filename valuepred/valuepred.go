@@ -70,6 +70,10 @@ var (
 	NewDFCM = core.NewDFCM
 	// NewDFCMWidth is NewDFCM with truncated stored strides (§4.4).
 	NewDFCMWidth = core.NewDFCMWidth
+	// NewTAGE returns the VTAGE tagged geometric-history predictor:
+	// a DFCM-style base plus tagged tables at geometrically
+	// increasing stride-history lengths.
+	NewTAGE = core.NewTAGE
 	// NewPerfectHybrid combines components under an oracle selector.
 	NewPerfectHybrid = core.NewPerfectHybrid
 	// NewMetaHybrid combines two components under counter selection.

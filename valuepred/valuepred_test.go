@@ -23,6 +23,7 @@ func TestPublicAPISurface(t *testing.T) {
 		valuepred.NewMetaHybrid(valuepred.NewStride(8), valuepred.NewFCM(8, 10), 8),
 		valuepred.NewClassified(8, 16, 8, valuepred.NewLastValue(8), valuepred.NewStride(8)),
 		valuepred.NewDelayed(valuepred.NewDFCM(8, 10), 16),
+		valuepred.NewTAGE(8, 6, 32, 4, 8, 4, 64),
 	}
 	var tr valuepred.Trace
 	for i := 0; i < 500; i++ {
